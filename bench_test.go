@@ -1,0 +1,229 @@
+package dmdc_test
+
+// Benchmark harness: one testing.B benchmark per paper artifact. Each
+// bench regenerates its table or figure end-to-end (all simulations plus
+// aggregation) at a reduced per-benchmark instruction budget, on a
+// benchmark subset, so `go test -bench=. -benchmem` completes in minutes.
+// For publication-scale numbers use cmd/experiments with -insts 1000000+.
+
+import (
+	"testing"
+
+	"dmdc"
+	"dmdc/internal/experiments"
+)
+
+// benchBudget is the per-workload instruction budget for benchmarks.
+const benchBudget = 50_000
+
+// benchSet is a representative INT/FP mix.
+var benchSet = []string{"gzip", "gcc", "vortex", "swim", "art", "applu"}
+
+func newBenchSuite() *experiments.Suite {
+	return experiments.NewSuite(experiments.Options{
+		Insts:      benchBudget,
+		Benchmarks: benchSet,
+	})
+}
+
+// BenchmarkFigure2 regenerates the YLA filtering sweep (quad-word vs
+// cache-line interleaving, 1..16 registers).
+func BenchmarkFigure2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.Figure2(); len(got.QuadWord) == 0 {
+			b.Fatal("empty figure 2")
+		}
+	}
+}
+
+// BenchmarkFigure3 regenerates the YLA vs Bloom-filter comparison.
+func BenchmarkFigure3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.Figure3(); len(got.Bloom) == 0 {
+			b.Fatal("empty figure 3")
+		}
+	}
+}
+
+// BenchmarkYLAEnergy regenerates the Section 6.1 YLA-only energy numbers.
+func BenchmarkYLAEnergy(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.YLAEnergy(); len(got.Rows) == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkFigure4 regenerates DMDC's energy/slowdown panels across the
+// three machine configurations.
+func BenchmarkFigure4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.Figure4(); len(got.Rows) != 6 {
+			b.Fatal("incomplete figure 4")
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the global-DMDC checking-window statistics.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.Table2(); len(got.Rows) != 2 {
+			b.Fatal("incomplete table 2")
+		}
+	}
+}
+
+// BenchmarkTable3 regenerates the global-DMDC false-replay breakdown.
+func BenchmarkTable3(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.Table3(); len(got.Rows) != 2 {
+			b.Fatal("incomplete table 3")
+		}
+	}
+}
+
+// BenchmarkTable4 regenerates the local-DMDC window statistics.
+func BenchmarkTable4(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.Table4(); len(got.Rows) != 2 {
+			b.Fatal("incomplete table 4")
+		}
+	}
+}
+
+// BenchmarkTable5 regenerates the local-DMDC false-replay breakdown.
+func BenchmarkTable5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.Table5(); len(got.Rows) != 2 {
+			b.Fatal("incomplete table 5")
+		}
+	}
+}
+
+// BenchmarkFigure5 regenerates the local-vs-global slowdown comparison.
+func BenchmarkFigure5(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.Figure5(); len(got.Rows) != 6 {
+			b.Fatal("incomplete figure 5")
+		}
+	}
+}
+
+// BenchmarkTable6 regenerates the external-invalidation sweep.
+func BenchmarkTable6(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.Table6(); len(got.Rows) == 0 {
+			b.Fatal("incomplete table 6")
+		}
+	}
+}
+
+// BenchmarkSafeLoadAblation regenerates the Section 6.2.2 ablation.
+func BenchmarkSafeLoadAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.SafeLoadAblation(); len(got.Rows) != 2 {
+			b.Fatal("incomplete ablation")
+		}
+	}
+}
+
+// BenchmarkCheckQueue regenerates the checking-queue equivalence sweep.
+func BenchmarkCheckQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.CheckQueueEquivalence(); len(got.Rows) == 0 {
+			b.Fatal("incomplete sweep")
+		}
+	}
+}
+
+// BenchmarkStoreFilter regenerates the Section 3 SQ-filter headroom stat.
+func BenchmarkStoreFilter(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.StoreFilterPotential(); got.All.N == 0 {
+			b.Fatal("empty result")
+		}
+	}
+}
+
+// BenchmarkSimBaseline measures raw simulator throughput (instructions
+// per benchmark-op reported as ns/op) for the conventional design.
+func BenchmarkSimBaseline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := dmdc.Simulate(dmdc.Config2(), "gcc", dmdc.PolicyBaseline, benchBudget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimDMDC measures raw simulator throughput under DMDC.
+func BenchmarkSimDMDC(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := dmdc.Simulate(dmdc.Config2(), "gcc", dmdc.PolicyDMDC, benchBudget); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableSizeSweep regenerates the checking-table sizing extension.
+func BenchmarkTableSizeSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.TableSizeSweep(); len(got.Rows) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkYLACountSweep regenerates the DMDC YLA-register-count sweep.
+func BenchmarkYLACountSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.DMDCYLASweep(); len(got.Rows) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkVerificationComparison regenerates the Section 7 design-space
+// comparison (DMDC vs age table vs value-based ± SVW).
+func BenchmarkVerificationComparison(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.VerificationComparison(); len(got.Rows) == 0 {
+			b.Fatal("empty comparison")
+		}
+	}
+}
+
+// BenchmarkRelatedWork regenerates the Garg et al. comparison.
+func BenchmarkRelatedWork(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.RelatedWork(); len(got.Rows) == 0 {
+			b.Fatal("empty comparison")
+		}
+	}
+}
+
+// BenchmarkClampAblation regenerates the YLA recovery-clamp ablation.
+func BenchmarkClampAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		s := newBenchSuite()
+		if got := s.ClampAblation(); len(got.Rows) == 0 {
+			b.Fatal("empty ablation")
+		}
+	}
+}

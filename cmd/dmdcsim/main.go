@@ -1,0 +1,136 @@
+// Command dmdcsim runs one simulation: a benchmark on a machine
+// configuration under a chosen load-queue policy, printing timing, energy,
+// and policy statistics.
+//
+// Usage:
+//
+//	dmdcsim -bench gcc -config config2 -policy dmdc -insts 1000000
+//	dmdcsim -bench swim -policy dmdc-local -inv 10
+//	dmdcsim -bench mcf -policy yla -stats
+//	dmdcsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmdc/internal/config"
+	"dmdc/internal/core"
+	"dmdc/internal/energy"
+	"dmdc/internal/lsq"
+	"dmdc/internal/trace"
+	"dmdc/internal/tracefile"
+)
+
+func main() {
+	var (
+		bench    = flag.String("bench", "gcc", "benchmark name (see -list)")
+		machine  = flag.String("config", "config2", "machine configuration: config1, config2, or config3")
+		policy   = flag.String("policy", "dmdc", "LQ policy: cam, yla, bloom, dmdc, dmdc-local, dmdc-queue, agetable, value, value-svw")
+		insts    = flag.Uint64("insts", 1_000_000, "committed instructions to simulate")
+		invRate  = flag.Float64("inv", 0, "external invalidations per 1000 cycles")
+		queue    = flag.Int("queue", 16, "checking-queue entries (dmdc-queue policy)")
+		bloomSz  = flag.Int("bloom", 256, "bloom filter size (bloom policy)")
+		traceIn  = flag.String("trace", "", "replay a recorded trace file instead of a synthetic benchmark")
+		sqFilter = flag.Bool("sqfilter", false, "enable the Section 3 store-side age filter")
+		ptFrom   = flag.Uint64("ptrace-from", 0, "pipeline-trace window start (committed inst)")
+		ptTo     = flag.Uint64("ptrace-to", 0, "pipeline-trace window end (0 = off)")
+		showAll  = flag.Bool("stats", false, "print every statistic")
+		list     = flag.Bool("list", false, "list benchmarks and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, p := range trace.Profiles() {
+			fmt.Printf("%-10s %s\n", p.Name, p.Class)
+		}
+		return
+	}
+
+	m, err := config.ByName(*machine)
+	if err != nil {
+		fatal(err)
+	}
+	var workload core.Workload
+	if *traceIn != "" {
+		f, err := os.Open(*traceIn)
+		if err != nil {
+			fatal(err)
+		}
+		rd, err := tracefile.NewReader(f)
+		f.Close()
+		if err != nil {
+			fatal(err)
+		}
+		workload = rd
+	} else {
+		prof, err := trace.ByName(*bench)
+		if err != nil {
+			fatal(err)
+		}
+		workload = core.FromGenerator(trace.NewGenerator(prof))
+	}
+	em := energy.NewModel(m.CoreSize())
+	var pol lsq.Policy
+	switch *policy {
+	case "cam":
+		pol = lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize}, em)
+	case "yla":
+		pol = lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterYLA, YLARegs: 8}, em)
+	case "bloom":
+		pol = lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterBloom, BloomSize: *bloomSz}, em)
+	case "dmdc":
+		pol = lsq.NewDMDC(lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize), em)
+	case "dmdc-local":
+		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
+		cfg.Local = true
+		pol = lsq.NewDMDC(cfg, em)
+	case "dmdc-queue":
+		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
+		cfg.TableSize = 0
+		cfg.QueueSize = *queue
+		pol = lsq.NewDMDC(cfg, em)
+	case "agetable":
+		pol = lsq.NewAgeTable(lsq.AgeTableConfig{TableSize: m.CheckTable, LQSize: m.ROBSize}, em)
+	case "value":
+		pol = lsq.NewValueBased(lsq.ValueBasedConfig{LoadCap: m.ROBSize}, em)
+	case "value-svw":
+		pol = lsq.NewValueBased(lsq.ValueBasedConfig{SVW: true, SVWSize: m.CheckTable, LoadCap: m.ROBSize}, em)
+	default:
+		fatal(fmt.Errorf("unknown policy %q", *policy))
+	}
+
+	var opts []core.Option
+	if *invRate > 0 {
+		opts = append(opts, core.WithInvalidations(*invRate))
+	}
+	if *sqFilter {
+		opts = append(opts, core.WithSQFilter())
+	}
+	if *ptTo > *ptFrom {
+		opts = append(opts, core.WithPipelineTrace(os.Stderr, *ptFrom, *ptTo))
+	}
+	sim := core.NewWithWorkload(m, workload, pol, em, opts...)
+	r := sim.Run(*insts)
+
+	fmt.Println(r)
+	fmt.Printf("IPC           %8.3f\n", r.IPC())
+	fmt.Printf("mispredicts   %8.2f per 1K insts\n",
+		r.Stats.Get("bpred_mispredicts")/float64(r.Insts)*1000)
+	fmt.Printf("replays       %8.2f per 1M insts\n",
+		r.Stats.Get("core_replays_total")/float64(r.Insts)*1e6)
+	fmt.Printf("LQ energy     %8.1f (%.2f%% of total)\n",
+		r.Energy.LQEnergy(), 100*r.Energy.LQEnergy()/r.Energy.Total())
+	fmt.Println("\nEnergy breakdown:")
+	fmt.Println(r.Energy.String())
+	if *showAll {
+		fmt.Println("All statistics:")
+		fmt.Println(r.Stats.String())
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmdcsim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,78 @@
+// Command dmdctrace records synthetic benchmark traces to the compact
+// binary format and inspects existing trace files.
+//
+// Usage:
+//
+//	dmdctrace -record gcc -insts 1000000 -o gcc.trace
+//	dmdctrace -info gcc.trace
+//	dmdctrace -dump gcc.trace -n 20
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"dmdc/internal/tracefile"
+)
+
+func main() {
+	var (
+		record = flag.String("record", "", "benchmark to record")
+		insts  = flag.Uint64("insts", 1_000_000, "instructions to record")
+		out    = flag.String("o", "bench.trace", "output file for -record")
+		info   = flag.String("info", "", "trace file to summarize")
+		dump   = flag.String("dump", "", "trace file to dump instructions from")
+		n      = flag.Int("n", 20, "instructions to dump")
+	)
+	flag.Parse()
+
+	switch {
+	case *record != "":
+		f, err := os.Create(*out)
+		if err != nil {
+			fatal(err)
+		}
+		if err := tracefile.RecordBenchmark(f, *record, *insts); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		st, _ := os.Stat(*out)
+		fmt.Printf("recorded %d instructions of %s to %s (%d bytes, %.1f B/inst)\n",
+			*insts, *record, *out, st.Size(), float64(st.Size())/float64(*insts))
+	case *info != "":
+		rd := open(*info)
+		hdr := rd.Header()
+		fmt.Printf("name:      %s\nclass:     %s\ninsts:     %d\nentry pc:  %#x\ninv region: %#x + %d bytes\nseed:      %d\n",
+			hdr.Name, hdr.Class, hdr.Count, hdr.EntryPC, hdr.InvBase, hdr.InvBytes, hdr.Seed)
+	case *dump != "":
+		rd := open(*dump)
+		for i := 0; i < *n && i < rd.Len(); i++ {
+			in := rd.Next()
+			fmt.Println(&in)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func open(path string) *tracefile.Reader {
+	f, err := os.Open(path)
+	if err != nil {
+		fatal(err)
+	}
+	defer f.Close()
+	rd, err := tracefile.NewReader(f)
+	if err != nil {
+		fatal(err)
+	}
+	return rd
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "dmdctrace:", err)
+	os.Exit(1)
+}

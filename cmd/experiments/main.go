@@ -1,0 +1,119 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation section and prints a consolidated report (optionally writing
+// it to a file).
+//
+// Usage:
+//
+//	experiments                     # full suite, 1M insts per benchmark
+//	experiments -insts 200000       # quicker, noisier
+//	experiments -only figure4       # one artifact
+//	experiments -out report.txt -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"dmdc/internal/experiments"
+)
+
+func main() {
+	var (
+		insts   = flag.Uint64("insts", 1_000_000, "instructions per benchmark")
+		par     = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
+		only    = flag.String("only", "", "single artifact: figure2, figure3, figure4, figure5, table2, table3, table4, table5, table6, yla, sqfilter, safeloads, queue, tablesweep, ylasweep, sqfilter-ext, clamp, extensions, relatedwork, detail, verification")
+		out     = flag.String("out", "", "also write the report to this file")
+		verbose = flag.Bool("v", false, "print per-run progress")
+		benches = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		csvKey  = flag.String("csv", "", "dump one run key's raw results as CSV to stdout (see -csvkeys)")
+		csvKeys = flag.Bool("csvkeys", false, "list valid -csv run keys and exit")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Insts: *insts, Parallelism: *par}
+	if *benches != "" {
+		opts.Benchmarks = strings.Split(*benches, ",")
+	}
+	if *verbose {
+		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
+	}
+	suite := experiments.NewSuite(opts)
+
+	if *csvKeys {
+		for _, k := range experiments.RunKeys() {
+			fmt.Println(k)
+		}
+		return
+	}
+	if *csvKey != "" {
+		if err := suite.WriteCSV(os.Stdout, *csvKey); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	start := time.Now()
+	var report string
+	switch *only {
+	case "":
+		report = suite.Report()
+	case "figure2":
+		report = suite.Figure2().String()
+	case "figure3":
+		report = suite.Figure3().String()
+	case "figure4":
+		report = suite.Figure4().String()
+	case "figure5":
+		report = suite.Figure5().String()
+	case "table2":
+		report = suite.Table2().String()
+	case "table3":
+		report = suite.Table3().String()
+	case "table4":
+		report = suite.Table4().String()
+	case "table5":
+		report = suite.Table5().String()
+	case "table6":
+		report = suite.Table6().String()
+	case "yla":
+		report = suite.YLAEnergy().String()
+	case "sqfilter":
+		report = suite.StoreFilterPotential().String()
+	case "safeloads":
+		report = suite.SafeLoadAblation().String()
+	case "queue":
+		report = suite.CheckQueueEquivalence().String()
+	case "tablesweep":
+		report = suite.TableSizeSweep().String()
+	case "ylasweep":
+		report = suite.DMDCYLASweep().String()
+	case "sqfilter-ext":
+		report = suite.SQFilterExtension().String()
+	case "clamp":
+		report = suite.ClampAblation().String()
+	case "extensions":
+		report = suite.ExtensionsReport()
+	case "relatedwork":
+		report = suite.RelatedWork().String()
+	case "detail":
+		report = suite.Detail().String()
+	case "verification":
+		report = suite.VerificationComparison().String()
+	default:
+		fmt.Fprintf(os.Stderr, "experiments: unknown artifact %q\n", *only)
+		os.Exit(1)
+	}
+	fmt.Println(report)
+	fmt.Fprintf(os.Stderr, "elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+
+	if *out != "" {
+		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+	}
+}

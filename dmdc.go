@@ -1,0 +1,153 @@
+// Package dmdc is a cycle-level reproduction of "DMDC: Delayed Memory
+// Dependence Checking through Age-Based Filtering" (Castro, Piñuel,
+// Chaver, Prieto, Huang, Tirado — MICRO 2006).
+//
+// The package front door wraps the building blocks in internal/: a
+// trace-driven out-of-order pipeline (internal/core), synthetic SPEC
+// CPU2000-like workloads (internal/trace), the load-queue management
+// policies under study (internal/lsq), the machine configurations of the
+// paper's Table 1 (internal/config), and the experiment harness that
+// regenerates every table and figure (internal/experiments).
+//
+// Quick use:
+//
+//	r, err := dmdc.Simulate(dmdc.Config2(), "gcc", dmdc.PolicyDMDC, 1_000_000)
+//	fmt.Println(r.IPC(), r.Energy.LQEnergy())
+//
+// or regenerate the paper's evaluation:
+//
+//	suite := dmdc.NewSuite(dmdc.SuiteOptions{Insts: 1_000_000})
+//	fmt.Println(suite.Report())
+package dmdc
+
+import (
+	"fmt"
+
+	"dmdc/internal/config"
+	"dmdc/internal/core"
+	"dmdc/internal/energy"
+	"dmdc/internal/experiments"
+	"dmdc/internal/lsq"
+	"dmdc/internal/trace"
+)
+
+// Machine is a processor configuration (see Config1/Config2/Config3).
+type Machine = config.Machine
+
+// Result is the outcome of one simulation.
+type Result = core.Result
+
+// Suite regenerates the paper's evaluation artifacts.
+type Suite = experiments.Suite
+
+// SuiteOptions scope a Suite run.
+type SuiteOptions = experiments.Options
+
+// Config1 returns the paper's smallest machine (ROB 128, LQ/SQ 48/32).
+func Config1() Machine { return config.Config1() }
+
+// Config2 returns the paper's primary machine (ROB 256, LQ/SQ 96/48).
+func Config2() Machine { return config.Config2() }
+
+// Config3 returns the paper's largest machine (ROB 512, LQ/SQ 192/64).
+func Config3() Machine { return config.Config3() }
+
+// Benchmarks lists the 26 synthetic SPEC CPU2000 stand-ins.
+func Benchmarks() []string { return trace.Names() }
+
+// PolicyKind selects a load-queue management scheme.
+type PolicyKind int
+
+// Available policies.
+const (
+	// PolicyBaseline is the conventional fully associative load queue.
+	PolicyBaseline PolicyKind = iota
+	// PolicyYLA adds 8-register age-based filtering to the baseline.
+	PolicyYLA
+	// PolicyDMDC is the paper's design: no associative LQ, delayed
+	// checking through a hash table at commit (global windows).
+	PolicyDMDC
+	// PolicyDMDCLocal is the local-window variant.
+	PolicyDMDCLocal
+	// PolicyAgeTable is the related-work age-indexed hash table of Garg
+	// et al. (ISLPED 2006) that the paper's Section 7 compares against.
+	PolicyAgeTable
+	// PolicyValueBased is Cain & Lipasti's commit-time re-execution
+	// (ISCA 2004): exact, but every load re-accesses the cache.
+	PolicyValueBased
+	// PolicyValueSVW adds Roth's store-vulnerability-window filter
+	// (ISCA 2005) in front of the re-execution.
+	PolicyValueSVW
+)
+
+// String names the policy.
+func (p PolicyKind) String() string {
+	switch p {
+	case PolicyBaseline:
+		return "baseline"
+	case PolicyYLA:
+		return "yla"
+	case PolicyDMDC:
+		return "dmdc"
+	case PolicyDMDCLocal:
+		return "dmdc-local"
+	case PolicyAgeTable:
+		return "agetable"
+	case PolicyValueBased:
+		return "value-based"
+	case PolicyValueSVW:
+		return "value-svw"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// SimOption forwards core options (e.g. WithInvalidations).
+type SimOption = core.Option
+
+// WithInvalidations injects external invalidations at the given rate per
+// 1000 cycles (the paper's Table 6 methodology).
+func WithInvalidations(ratePer1000 float64) SimOption {
+	return core.WithInvalidations(ratePer1000)
+}
+
+// WithSQFilter enables the Section 3 store-side age filter: loads older
+// than the oldest in-flight store skip the associative SQ search.
+func WithSQFilter() SimOption { return core.WithSQFilter() }
+
+// Simulate runs one benchmark under one policy for the given number of
+// committed instructions and returns timing, energy, and statistics.
+func Simulate(m Machine, benchmark string, kind PolicyKind, insts uint64, opts ...SimOption) (*Result, error) {
+	prof, err := trace.ByName(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	em := energy.NewModel(m.CoreSize())
+	var pol lsq.Policy
+	switch kind {
+	case PolicyBaseline:
+		pol = lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize}, em)
+	case PolicyYLA:
+		pol = lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterYLA, YLARegs: 8}, em)
+	case PolicyDMDC:
+		pol = lsq.NewDMDC(lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize), em)
+	case PolicyDMDCLocal:
+		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
+		cfg.Local = true
+		pol = lsq.NewDMDC(cfg, em)
+	case PolicyAgeTable:
+		pol = lsq.NewAgeTable(lsq.AgeTableConfig{TableSize: m.CheckTable, LQSize: m.ROBSize}, em)
+	case PolicyValueBased:
+		pol = lsq.NewValueBased(lsq.ValueBasedConfig{LoadCap: m.ROBSize}, em)
+	case PolicyValueSVW:
+		pol = lsq.NewValueBased(lsq.ValueBasedConfig{SVW: true, SVWSize: m.CheckTable, LoadCap: m.ROBSize}, em)
+	default:
+		return nil, fmt.Errorf("dmdc: unknown policy %v", kind)
+	}
+	sim := core.New(m, prof, pol, em, opts...)
+	return sim.Run(insts), nil
+}
+
+// NewSuite builds the experiment suite that regenerates the paper's
+// tables and figures.
+func NewSuite(o SuiteOptions) *Suite { return experiments.NewSuite(o) }

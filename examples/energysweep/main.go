@@ -1,0 +1,52 @@
+// Energy sweep: the Figure 4 scalability argument on a workload subset.
+// As the machine grows (config1 → config3), the associative LQ's share of
+// processor energy grows, so replacing it with DMDC's indexed structures
+// saves more — while the slowdown stays negligible. Run with a list of
+// benchmark names, or no arguments for a representative mix.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"dmdc/internal/config"
+	"dmdc/internal/core"
+	"dmdc/internal/energy"
+	"dmdc/internal/lsq"
+	"dmdc/internal/trace"
+)
+
+func main() {
+	benches := []string{"gzip", "gcc", "swim", "art"}
+	if len(os.Args) > 1 {
+		benches = os.Args[1:]
+	}
+	const insts = 400_000
+
+	fmt.Printf("%-10s %-8s %10s %10s %12s %12s %10s\n",
+		"config", "bench", "base IPC", "dmdc IPC", "LQ saved %", "net saved %", "slow %")
+	for _, machine := range config.All() {
+		for _, bench := range benches {
+			prof, err := trace.ByName(bench)
+			if err != nil {
+				log.Fatal(err)
+			}
+			emB := energy.NewModel(machine.CoreSize())
+			base := core.New(machine, prof,
+				lsq.NewCAM(lsq.CAMConfig{LQSize: machine.LQSize}, emB), emB).Run(insts)
+			emD := energy.NewModel(machine.CoreSize())
+			dmdc := core.New(machine, prof,
+				lsq.NewDMDC(lsq.DefaultDMDCConfig(machine.CheckTable, machine.ROBSize), emD), emD).Run(insts)
+
+			fmt.Printf("%-10s %-8s %10.2f %10.2f %12.1f %12.1f %10.2f\n",
+				machine.Name, bench, base.IPC(), dmdc.IPC(),
+				100*energy.Savings(base.Energy.LQEnergy(), dmdc.Energy.LQEnergy()),
+				100*energy.Savings(base.Energy.Total(), dmdc.Energy.Total()),
+				100*(float64(dmdc.Cycles)/float64(base.Cycles)-1))
+		}
+		fmt.Println()
+	}
+	fmt.Println("Bigger windows need bigger (costlier) associative LQs; DMDC's cost is")
+	fmt.Println("flat, so its net savings grow with the machine (paper Figure 4).")
+}

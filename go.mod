@@ -1,0 +1,3 @@
+module dmdc
+
+go 1.22

@@ -1,0 +1,86 @@
+package config
+
+import "testing"
+
+func TestAllConfigsValid(t *testing.T) {
+	for _, m := range All() {
+		if err := m.Validate(); err != nil {
+			t.Errorf("%s: %v", m.Name, err)
+		}
+	}
+}
+
+func TestTable1Parameters(t *testing.T) {
+	c1, c2, c3 := Config1(), Config2(), Config3()
+	// Table 1 values, verbatim.
+	cases := []struct {
+		m                                 Machine
+		rob, lq, sq, iq, regs, checkTable int
+	}{
+		{c1, 128, 48, 32, 32, 100, 1024},
+		{c2, 256, 96, 48, 48, 200, 2048},
+		{c3, 512, 192, 64, 64, 400, 4096},
+	}
+	for _, c := range cases {
+		if c.m.ROBSize != c.rob || c.m.LQSize != c.lq || c.m.SQSize != c.sq ||
+			c.m.IQInt != c.iq || c.m.IntRegs != c.regs || c.m.CheckTable != c.checkTable {
+			t.Errorf("%s does not match Table 1: %+v", c.m.Name, c.m)
+		}
+	}
+	for _, m := range []Machine{c1, c2, c3} {
+		if m.FetchWidth != 8 || m.IssueWidth != 8 || m.CommitWidth != 8 {
+			t.Errorf("%s widths should be 8/8/8", m.Name)
+		}
+		if m.MispredictPenalty != 7 {
+			t.Errorf("%s mispredict penalty should be 7", m.Name)
+		}
+		if m.IntALUs != 8 || m.IntMulDiv != 2 {
+			t.Errorf("%s FU counts wrong", m.Name)
+		}
+		if m.Memory.MemLatency != 120 {
+			t.Errorf("%s memory latency should be 120", m.Name)
+		}
+		if m.Memory.L2.Latency != 15 {
+			t.Errorf("%s L2 latency should be 15", m.Name)
+		}
+	}
+}
+
+func TestCoreSizeGrows(t *testing.T) {
+	if !(Config1().CoreSize() < Config2().CoreSize() && Config2().CoreSize() < Config3().CoreSize()) {
+		t.Error("core size should grow across configs")
+	}
+}
+
+func TestByName(t *testing.T) {
+	m, err := ByName("config2")
+	if err != nil || m.ROBSize != 256 {
+		t.Errorf("ByName(config2) = %+v, %v", m, err)
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestValidateCatchesBadParams(t *testing.T) {
+	m := Config1()
+	m.ROBSize = 0
+	if err := m.Validate(); err == nil {
+		t.Error("zero ROB accepted")
+	}
+	m = Config1()
+	m.LQSize = m.ROBSize + 1
+	if err := m.Validate(); err == nil {
+		t.Error("LQ larger than ROB accepted")
+	}
+	m = Config1()
+	m.BPred.HistoryBits = 0
+	if err := m.Validate(); err == nil {
+		t.Error("bad bpred config accepted")
+	}
+	m = Config1()
+	m.Memory.L1D.LineB = 60
+	if err := m.Validate(); err == nil {
+		t.Error("bad cache config accepted")
+	}
+}

@@ -1,0 +1,220 @@
+package core
+
+import (
+	"fmt"
+
+	"dmdc/internal/energy"
+	"dmdc/internal/isa"
+	"dmdc/internal/lsq"
+)
+
+// commitStage retires completed instructions in program order, up to the
+// commit width. DMDC's delayed dependence check runs here: a committing
+// load may demand a replay, which squashes from that load (inclusive) and
+// refetches it.
+func (s *Sim) commitStage() {
+	for n := 0; n < s.cfg.CommitWidth && s.count > 0; n++ {
+		e := &s.rob[s.headIdx]
+		if e.state != stCompleted {
+			return
+		}
+		if e.wrongPath {
+			// A wrong-path instruction can never reach the ROB head: the
+			// mispredicted branch ahead of it squashes at resolve, and
+			// branches resolve before they would commit.
+			panic("core: wrong-path instruction reached commit")
+		}
+		age := e.age
+		s.pol.InstCommit(age)
+		op := e.inst.Op
+		switch {
+		case op.IsLoad():
+			if r := s.pol.LoadCommit(e.mem); r != nil {
+				// Delayed check fired: the load must re-execute. Squash
+				// from the load itself and refetch; it does not commit.
+				s.replay(r)
+				return
+			}
+			s.inflightLoads--
+		case op.IsStore():
+			// The store drains to the cache at commit.
+			s.em.Add(energy.CompL1D, s.costL1D)
+			if lat := s.mem.L1D.Access(e.inst.Addr, true); lat > s.cfg.Memory.L1D.Latency {
+				s.em.Add(energy.CompL2, s.costL2)
+			}
+			s.pol.StoreCommit(e.mem)
+			for _, m := range s.monitors {
+				m.StoreCommit(e.mem)
+			}
+			s.removeSQ(age)
+		}
+		// Release the physical register and retire the producer mapping.
+		if e.inst.HasDest() {
+			if isa.IsFPReg(e.inst.Dest) {
+				s.freeFP++
+			} else {
+				s.freeInt++
+			}
+			if s.regProducer[e.inst.Dest] == age {
+				s.regProducer[e.inst.Dest] = 0
+			}
+		}
+		s.traceEvent("CM", age, &e.inst, "")
+		s.em.Add(energy.CompROB, s.costROB)
+		if s.commitHook != nil {
+			s.commitHook(e.inst)
+		}
+		s.committed++
+		s.headIdx = (s.headIdx + 1) % len(s.rob)
+		s.headAge++
+		s.count--
+	}
+}
+
+// removeSQ drops the store-queue entry with the given age.
+func (s *Sim) removeSQ(age uint64) {
+	for i := range s.sq {
+		if s.sq[i].age == age {
+			s.sq = append(s.sq[:i], s.sq[i+1:]...)
+			return
+		}
+	}
+}
+
+// replay performs a memory-order replay: all instructions from the replay
+// point (inclusive) are squashed, correct-path ones are saved for refetch,
+// and the front end restarts after the recovery penalty.
+func (s *Sim) replay(r *lsq.Replay) {
+	s.replayCounts[r.Cause]++
+	s.traceMark("RPL", fmt.Sprintf("replay from age=%d cause=%v", r.FromAge, r.Cause))
+	s.squashAfter(r.FromAge-1, true)
+	s.pol.Recover(r.FromAge - 1)
+	for _, m := range s.monitors {
+		m.Recover(r.FromAge - 1)
+	}
+	// Any active wrong path belonged to a branch younger than the replay
+	// point (older mispredicted branches cannot exist: the replayed load
+	// is on the correct path); it was squashed with everything else.
+	s.wpActive = false
+	s.wpStream = nil
+	s.fetchResume = s.cycle + uint64(s.cfg.MispredictPenalty)
+}
+
+// squashAfter removes every ROB entry younger than keepAge. When save is
+// true, squashed correct-path instructions are pushed onto the replay
+// queue for refetch (memory-order replay); branch recovery discards them
+// (they are all wrong-path by construction). Ages of squashed entries are
+// recycled — like ROB IDs in real hardware — which is why scheduled events
+// carry an epoch tag.
+func (s *Sim) squashAfter(keepAge uint64, save bool) {
+	s.epoch++
+	if s.count == 0 {
+		s.flushFetchQ(save, nil)
+		return
+	}
+	tailAge := s.headAge + uint64(s.count) - 1
+	if keepAge >= tailAge {
+		s.flushFetchQ(save, nil)
+		return
+	}
+	from := keepAge + 1
+	if from < s.headAge {
+		from = s.headAge
+	}
+	var saved []isa.Inst
+	var firstBranchCp uint32
+	var sawBranch bool
+	for age := from; age <= tailAge; age++ {
+		e := s.entryOf(age)
+		if save && !e.wrongPath {
+			saved = append(saved, e.inst)
+		}
+		if !sawBranch && e.predicted {
+			firstBranchCp = e.histCp
+			sawBranch = true
+		}
+		// Unwind side structures.
+		if e.inst.HasDest() {
+			if isa.IsFPReg(e.inst.Dest) {
+				s.freeFP++
+			} else {
+				s.freeInt++
+			}
+		}
+		if e.state == stWaiting {
+			s.leaveIQ(e)
+		}
+		if e.inst.Op.IsLoad() {
+			s.inflightLoads--
+		}
+	}
+	s.count = int(from - s.headAge)
+	s.nextAge = from // recycle ages so ROB ages stay contiguous
+	// Store queue: drop squashed stores (age-ordered suffix).
+	for len(s.sq) > 0 && s.sq[len(s.sq)-1].age >= from {
+		s.sq = s.sq[:len(s.sq)-1]
+	}
+	// Speculative-history repair: rewind to the checkpoint of the oldest
+	// squashed correct-path branch (its prediction never happened now).
+	if save && sawBranch {
+		s.bp.RestoreHistory(firstBranchCp, false)
+		// The restore appended a bogus outcome bit; acceptable noise — the
+		// branch will re-predict when refetched.
+	}
+	// Purge squashed ages from the scheduling lists (ages are about to be
+	// recycled, so liveness checks alone would not catch them), and
+	// rebuild the rename map from the surviving entries.
+	w := s.waiting[:0]
+	for _, age := range s.waiting {
+		if age < from {
+			w = append(w, age)
+		}
+	}
+	s.waiting = w
+	dw := s.dataWait[:0]
+	for _, ev := range s.dataWait {
+		if ev.age < from {
+			dw = append(dw, ev)
+		}
+	}
+	s.dataWait = dw
+	s.rebuildProducers()
+	s.pol.Squash(from)
+	for _, m := range s.monitors {
+		m.Squash(from)
+	}
+	s.flushFetchQ(save, saved)
+}
+
+// flushFetchQ empties the fetch queue. When save is set, the squashed ROB
+// instructions (savedROB) followed by the fetch queue's correct-path
+// instructions are prepended to the replay queue, preserving program
+// order: ROB < fetchQ < existing replayQ.
+func (s *Sim) flushFetchQ(save bool, savedROB []isa.Inst) {
+	if save {
+		saved := savedROB
+		for i := range s.fetchQ {
+			if !s.fetchQ[i].wrongPath {
+				saved = append(saved, s.fetchQ[i].inst)
+			}
+		}
+		if len(saved) > 0 {
+			s.replayQ = append(saved, s.replayQ...)
+		}
+	}
+	s.fetchQ = s.fetchQ[:0]
+}
+
+// rebuildProducers reconstructs the architectural-register producer map
+// from the surviving ROB contents after a squash.
+func (s *Sim) rebuildProducers() {
+	for i := range s.regProducer {
+		s.regProducer[i] = 0
+	}
+	for k := 0; k < s.count; k++ {
+		e := &s.rob[(s.headIdx+k)%len(s.rob)]
+		if e.inst.HasDest() {
+			s.regProducer[e.inst.Dest] = e.age
+		}
+	}
+}

@@ -1,0 +1,409 @@
+// Package core implements the cycle-level out-of-order superscalar
+// pipeline used as the paper's evaluation substrate (standing in for the
+// authors' heavily modified SimpleScalar + Wattch): an 8-wide machine with
+// a ROB, split INT/FP issue queues, physical-register limits, a combined
+// branch predictor with real wrong-path execution, a store queue with
+// forwarding, load rejection and partial-match handling, speculative load
+// issue, and a pluggable load-queue management policy from internal/lsq.
+//
+// The simulator is trace-driven: instructions carry their own outcomes
+// (addresses, branch directions), so "execution" is pure timing. The
+// committed instruction stream always equals the generator's stream, which
+// tests exploit as an end-to-end oracle.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dmdc/internal/bpred"
+	"dmdc/internal/cache"
+	"dmdc/internal/config"
+	"dmdc/internal/energy"
+	"dmdc/internal/isa"
+	"dmdc/internal/lsq"
+	"dmdc/internal/stats"
+	"dmdc/internal/trace"
+)
+
+// entry states.
+const (
+	stWaiting   uint8 = iota // dispatched, in issue queue
+	stIssued                 // executing (loads: access in flight; stores: address resolved)
+	stCompleted              // result available / ready to commit
+)
+
+// entry is one ROB slot.
+type entry struct {
+	inst      isa.Inst
+	age       uint64
+	epoch     uint32 // squash generation; invalidates stale events on recycled ages
+	wrongPath bool
+	state     uint8
+	notBefore uint64 // earliest cycle the op may (re)attempt issue
+
+	mem *lsq.MemOp
+
+	// Producer ages of the source operands, captured at rename time
+	// (0 means the value was already architectural).
+	src1Prod uint64
+	src2Prod uint64
+
+	// Store operand tracking.
+	addrResolved bool
+	dataReady    bool
+
+	// Branch state.
+	pred         bpred.Prediction
+	histCp       uint32
+	mispredicted bool
+	predicted    bool // correct-path branch that consulted the predictor
+}
+
+// sqEntry is one store-queue slot (core-owned: forwarding is common to all
+// LQ policies).
+type sqEntry struct {
+	age          uint64
+	addr         uint64
+	size         uint8
+	addrResolved bool
+	dataReady    bool
+}
+
+// Option customizes a Sim.
+type Option func(*Sim)
+
+// WithMonitors attaches passive measurement monitors.
+func WithMonitors(ms ...lsq.Monitor) Option {
+	return func(s *Sim) { s.monitors = append(s.monitors, ms...) }
+}
+
+// WithInvalidations injects external invalidations at the given expected
+// rate per 1000 cycles, at random lines of the benchmark's working set.
+func WithInvalidations(ratePer1000 float64) Option {
+	return func(s *Sim) { s.invRate = ratePer1000 / 1000.0 }
+}
+
+// WithCommitHook registers a callback invoked for every committed
+// instruction; tests use it as an end-to-end ordering oracle.
+func WithCommitHook(fn func(isa.Inst)) Option {
+	return func(s *Sim) { s.commitHook = fn }
+}
+
+// WithSQFilter enables the paper's Section 3 store-side extension: a
+// single age register tracking the oldest in-flight store lets any older
+// load skip the associative SQ search entirely ("such loads are not rare —
+// about 20%"). The paper suggests but does not evaluate this; it is
+// implemented here as the natural dual of YLA filtering.
+func WithSQFilter() Option {
+	return func(s *Sim) { s.sqFilter = true }
+}
+
+// Sim is one simulated processor running one benchmark. Not safe for
+// concurrent use; run different benchmarks on different Sims.
+type Sim struct {
+	cfg config.Machine
+	wl  Workload
+	pol lsq.Policy
+	em  *energy.Model
+	bp  *bpred.Predictor
+	mem *cache.Hierarchy
+
+	monitors   []lsq.Monitor
+	invRate    float64
+	invRng     *rand.Rand
+	commitHook func(isa.Inst)
+	ptrace     *pipeTrace
+
+	cycle   uint64
+	nextAge uint64
+
+	// ROB ring buffer; ages of live entries are contiguous.
+	rob     []entry
+	headIdx int
+	count   int
+	headAge uint64
+
+	// Fetch plumbing.
+	fetchQ      []fetchedInst
+	replayQ     []isa.Inst // correct-path instructions to re-inject after a replay
+	wpActive    bool
+	wpStream    InstSource
+	wpBranchAge uint64
+	fetchResume uint64 // fetch stalled until this cycle
+	fetchSalt   uint64
+	lastGenPC   uint64 // next correct-path fetch PC (I-cache proxy)
+	lastWPPC    uint64 // next wrong-path fetch PC
+
+	// Scheduling.
+	waiting  []uint64  // ages of entries in stWaiting, ascending
+	dataWait []wheelEv // stores whose data operand is pending (epoch-tagged)
+	wheel    [][]wheelEv
+	epoch    uint32
+	iqInt    int
+	iqFP     int
+
+	// Register state.
+	regProducer [isa.NumRegs]uint64
+	freeInt     int
+	freeFP      int
+
+	// Store queue.
+	sq []sqEntry
+
+	// In-flight load count (policy capacity gate).
+	inflightLoads int
+
+	// Optional store-side age filter (Section 3 extension).
+	sqFilter         bool
+	sqSearches       uint64
+	sqSearchFiltered uint64
+
+	// Statistics.
+	committed            uint64
+	cstats               *stats.Set
+	replayCounts         [lsq.NumCauses]uint64
+	loadRejections       uint64
+	forwards             uint64
+	wrongPathFetched     uint64
+	invInjected          uint64
+	mispredictRecoveries uint64
+
+	// Cached energy costs.
+	costSQSearch, costSQWrite         float64
+	costROB, costRename, costRegfile  float64
+	costIQ, costBPred                 float64
+	costL1I, costL1D, costL2, costALU float64
+}
+
+// wheelEv is one scheduled completion on the event wheel.
+type wheelEv struct {
+	age   uint64
+	epoch uint32
+}
+
+type fetchedInst struct {
+	inst      isa.Inst
+	wrongPath bool
+	pred      bpred.Prediction
+	histCp    uint32
+	mispred   bool
+	predicted bool
+}
+
+const wheelSize = 512
+
+// New builds a simulator running the built-in synthetic benchmark for
+// prof. The policy and energy model are supplied by the caller so
+// experiments can wire any combination (pass energy.Disabled() to skip
+// accounting). New panics on invalid configuration — experiment inputs
+// are static.
+func New(cfg config.Machine, prof trace.Profile, pol lsq.Policy, em *energy.Model, opts ...Option) *Sim {
+	return NewWithWorkload(cfg, FromGenerator(trace.NewGenerator(prof)), pol, em, opts...)
+}
+
+// NewWithWorkload builds a simulator over any Workload — a recorded trace
+// file, a hand-written stream, or the synthetic generator.
+func NewWithWorkload(cfg config.Machine, wl Workload, pol lsq.Policy, em *energy.Model, opts ...Option) *Sim {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	hier, err := cache.NewHierarchy(cfg.Memory)
+	if err != nil {
+		panic(err)
+	}
+	s := &Sim{
+		cfg:     cfg,
+		wl:      wl,
+		pol:     pol,
+		em:      em,
+		bp:      bpred.New(cfg.BPred),
+		mem:     hier,
+		rob:     make([]entry, cfg.ROBSize),
+		wheel:   make([][]wheelEv, wheelSize),
+		nextAge: 1,
+		headAge: 1,
+		freeInt: cfg.IntRegs - isa.NumIntRegs,
+		freeFP:  cfg.FPRegs - isa.NumFPRegs,
+		invRng:  rand.New(rand.NewSource(wl.Meta().Seed ^ 0x1234_5678)),
+		cstats:  stats.NewSet(),
+	}
+	s.lastGenPC = s.wl.EntryPC()
+	s.initCosts()
+	for _, opt := range opts {
+		opt(s)
+	}
+	return s
+}
+
+// initCosts precomputes geometry-scaled per-event energies.
+func (s *Sim) initCosts() {
+	c := s.cfg
+	s.costSQSearch = energy.CAMSearch(c.SQSize, energy.AddressBits)
+	s.costSQWrite = energy.CAMAccess(c.SQSize, energy.AddressBits+16)
+	s.costROB = energy.RAMAccess(c.ROBSize, 64)
+	s.costRename = energy.RAMAccess(isa.NumRegs, 16)
+	s.costRegfile = energy.RAMAccess(c.IntRegs, 64)
+	s.costIQ = energy.CAMSearch(c.IQInt, 10)
+	s.costBPred = energy.RAMAccess(c.BPred.GshareEntries, 2) * 3
+	s.costL1I = energy.RAMAccess(c.Memory.L1I.Sets(), c.Memory.L1I.LineB)
+	s.costL1D = energy.RAMAccess(c.Memory.L1D.Sets(), c.Memory.L1D.LineB)
+	s.costL2 = energy.RAMAccess(c.Memory.L2.Sets(), c.Memory.L2.LineB)
+	s.costALU = 0.45
+}
+
+// idxOf maps a live age to its ROB slot.
+func (s *Sim) idxOf(age uint64) int {
+	return (s.headIdx + int(age-s.headAge)) % len(s.rob)
+}
+
+// live reports whether age denotes a current ROB entry.
+func (s *Sim) live(age uint64) bool {
+	return s.count > 0 && age >= s.headAge && age < s.headAge+uint64(s.count)
+}
+
+// entryOf returns the ROB entry for a live age.
+func (s *Sim) entryOf(age uint64) *entry { return &s.rob[s.idxOf(age)] }
+
+// lookupProducer returns the age of the in-flight producer of a register
+// at rename time, or 0 when the value is architectural.
+func (s *Sim) lookupProducer(reg int16) uint64 {
+	if reg == isa.RegNone {
+		return 0
+	}
+	return s.regProducer[reg]
+}
+
+// producerReady reports whether the producer captured at rename time has
+// completed (or has committed / never existed). Recycled ages cannot alias
+// here: a live consumer's producer age is always below the recycling point.
+func (s *Sim) producerReady(prodAge uint64) bool {
+	if prodAge == 0 || !s.live(prodAge) {
+		return true
+	}
+	return s.entryOf(prodAge).state == stCompleted
+}
+
+// Result summarizes one run.
+type Result struct {
+	Benchmark string
+	Class     trace.Class
+	Config    string
+	Policy    string
+	Cycles    uint64
+	Insts     uint64
+	Energy    energy.Breakdown
+	Stats     *stats.Set
+}
+
+// IPC returns committed instructions per cycle.
+func (r *Result) IPC() float64 {
+	if r.Cycles == 0 {
+		return 0
+	}
+	return float64(r.Insts) / float64(r.Cycles)
+}
+
+// String renders a one-line summary.
+func (r *Result) String() string {
+	return fmt.Sprintf("%s/%s/%s: %d insts, %d cycles, IPC %.3f, energy %.0f",
+		r.Benchmark, r.Config, r.Policy, r.Insts, r.Cycles, r.IPC(), r.Energy.Total())
+}
+
+// Run simulates until nInsts correct-path instructions have committed and
+// returns the collected results.
+func (s *Sim) Run(nInsts uint64) *Result {
+	target := s.committed + nInsts
+	guard := s.cycle + nInsts*200 + 1_000_000 // liveness backstop
+	for s.committed < target {
+		s.step()
+		if s.cycle > guard {
+			panic(fmt.Sprintf("core: no forward progress: %d/%d insts after %d cycles",
+				s.committed, target, s.cycle))
+		}
+	}
+	return s.result()
+}
+
+// step advances one cycle through all pipeline stages.
+func (s *Sim) step() {
+	if s.ptrace != nil {
+		s.ptrace.tick(s.committed)
+	}
+	s.commitStage()
+	s.completeStage()
+	s.issueStage()
+	s.dispatchStage()
+	s.fetchStage()
+	s.injectInvalidations()
+	s.pol.Tick()
+	s.em.Tick()
+	s.cycle++
+}
+
+// injectInvalidations delivers external coherence invalidations at the
+// configured rate. Following the paper's methodology (Section 6.2.4), the
+// injection exercises only the dependence-checking machinery: the cache
+// contents are left alone so the measured overhead isolates the checking
+// windows, INV-bit replays, and extra YLA traffic rather than memory-
+// system thrash that would equally affect any design.
+func (s *Sim) injectInvalidations() {
+	if s.invRate <= 0 || s.invRng.Float64() >= s.invRate {
+		return
+	}
+	meta := s.wl.Meta()
+	if meta.InvBytes == 0 {
+		return
+	}
+	lineB := uint64(s.cfg.Memory.L1D.LineB)
+	addr := meta.InvBase + uint64(s.invRng.Int63n(int64(meta.InvBytes)))&^(lineB-1)
+	s.pol.Invalidate(addr)
+	s.invInjected++
+}
+
+// result snapshots all statistics.
+func (s *Sim) result() *Result {
+	set := stats.NewSet()
+	set.Put("cycles", float64(s.cycle))
+	set.Put("committed", float64(s.committed))
+	set.Put("mispredict_recoveries", float64(s.mispredictRecoveries))
+	set.Put("bpred_lookups", float64(s.bp.Lookups))
+	set.Put("bpred_mispredicts", float64(s.bp.Mispredicts))
+	set.Put("load_rejections", float64(s.loadRejections))
+	set.Put("sq_searches", float64(s.sqSearches))
+	set.Put("sq_searches_filtered", float64(s.sqSearchFiltered))
+	set.Put("forwards", float64(s.forwards))
+	set.Put("wrong_path_fetched", float64(s.wrongPathFetched))
+	set.Put("inv_injected", float64(s.invInjected))
+	set.Put("l1d_accesses", float64(s.mem.L1D.Accesses))
+	set.Put("l1d_misses", float64(s.mem.L1D.Misses))
+	set.Put("l1i_accesses", float64(s.mem.L1I.Accesses))
+	set.Put("l1i_misses", float64(s.mem.L1I.Misses))
+	set.Put("l2_accesses", float64(s.mem.L2.Accesses))
+	set.Put("l2_misses", float64(s.mem.L2.Misses))
+	var totalReplays uint64
+	for c := lsq.Cause(0); c < lsq.Cause(lsq.NumCauses); c++ {
+		n := s.replayCounts[c]
+		totalReplays += n
+		if n > 0 {
+			set.Put("core_replay_"+c.String(), float64(n))
+		}
+	}
+	set.Put("core_replays_total", float64(totalReplays))
+	s.pol.Report(set)
+	for _, m := range s.monitors {
+		m.Report(set)
+	}
+	set.Merge(s.cstats)
+	meta := s.wl.Meta()
+	return &Result{
+		Benchmark: meta.Name,
+		Class:     meta.Class,
+		Config:    s.cfg.Name,
+		Policy:    s.pol.Name(),
+		Cycles:    s.cycle,
+		Insts:     s.committed,
+		Energy:    s.em.Snapshot(),
+		Stats:     set,
+	}
+}

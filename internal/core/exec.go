@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+
+	"dmdc/internal/energy"
+	"dmdc/internal/isa"
+)
+
+// scheduleCompletion enqueues age on the event wheel lat cycles from now,
+// tagged with the entry's epoch so a post-squash occupant of a recycled
+// age cannot be completed by a stale event.
+func (s *Sim) scheduleCompletion(age uint64, lat int) {
+	if lat < 1 {
+		lat = 1
+	}
+	if lat >= wheelSize {
+		lat = wheelSize - 1
+	}
+	slot := (s.cycle + uint64(lat)) % wheelSize
+	s.wheel[slot] = append(s.wheel[slot], wheelEv{age: age, epoch: s.entryOf(age).epoch})
+}
+
+// issueStage selects ready instructions oldest-first, up to the issue
+// width and functional-unit limits, and begins their execution.
+func (s *Sim) issueStage() {
+	var (
+		issued   int
+		intALU   int
+		intMD    int
+		fpALU    int
+		fpMD     int
+		memPorts int
+	)
+	out := s.waiting[:0]
+	for _, age := range s.waiting {
+		if !s.live(age) {
+			continue // squashed
+		}
+		e := s.entryOf(age)
+		if e.state != stWaiting {
+			continue // issued via another path
+		}
+		if issued >= s.cfg.IssueWidth || s.cycle < e.notBefore {
+			out = append(out, age)
+			continue
+		}
+		op := e.inst.Op
+		// Functional-unit availability.
+		var fuOK bool
+		switch {
+		case op == isa.OpIMul || op == isa.OpIDiv:
+			fuOK = intMD < s.cfg.IntMulDiv
+		case op == isa.OpFMul || op == isa.OpFDiv:
+			fuOK = fpMD < s.cfg.FPMulDiv
+		case op.IsFP():
+			fuOK = fpALU < s.cfg.FPALUs
+		case op.IsLoad():
+			fuOK = intALU < s.cfg.IntALUs && memPorts < s.cfg.MemPorts
+		default:
+			fuOK = intALU < s.cfg.IntALUs
+		}
+		if !fuOK {
+			out = append(out, age)
+			continue
+		}
+		// Operand readiness: memory ops need only the address operand to
+		// begin (stores handle data separately); others need both sources.
+		ready := s.producerReady(e.src1Prod)
+		if ready && !op.IsMem() {
+			ready = s.producerReady(e.src2Prod)
+		}
+		if !ready {
+			out = append(out, age)
+			continue
+		}
+		// Issue.
+		kept := s.beginExecution(e)
+		if kept {
+			s.traceEvent("RJ", age, &e.inst, "")
+			out = append(out, age)
+			continue
+		}
+		s.traceEvent("IS", age, &e.inst, "")
+		issued++
+		switch {
+		case op == isa.OpIMul || op == isa.OpIDiv:
+			intMD++
+		case op == isa.OpFMul || op == isa.OpFDiv:
+			fpMD++
+		case op.IsFP():
+			fpALU++
+		case op.IsLoad():
+			intALU++
+			memPorts++
+		default:
+			intALU++
+		}
+	}
+	s.waiting = out
+}
+
+// beginExecution starts one instruction. It returns true when the op must
+// stay in the issue queue (a rejected load).
+func (s *Sim) beginExecution(e *entry) bool {
+	op := e.inst.Op
+	s.em.Add(energy.CompIQ, s.costIQ)
+	s.em.Add(energy.CompRegfile, 2*s.costRegfile)
+	switch {
+	case op.IsLoad():
+		return s.issueLoad(e)
+	case op.IsStore():
+		s.issueStore(e)
+	default:
+		s.em.Add(energy.CompALU, s.costALU)
+		e.state = stIssued
+		s.scheduleCompletion(e.age, op.Latency())
+		s.leaveIQ(e)
+	}
+	return false
+}
+
+// leaveIQ frees the instruction's issue-queue slot.
+func (s *Sim) leaveIQ(e *entry) {
+	if e.inst.Op.IsFP() {
+		s.iqFP--
+	} else {
+		s.iqInt--
+	}
+}
+
+// issueLoad executes a load: it searches the store queue for forwarding or
+// rejection, then accesses the data cache. Returns true if the load was
+// rejected and must retry.
+func (s *Sim) issueLoad(e *entry) bool {
+	in := &e.inst
+	var (
+		match      *sqEntry // youngest older store with resolved overlapping address
+		unresolved bool     // any older store with unresolved address
+	)
+	// Store-side age filter: a load older than the oldest in-flight store
+	// provably has nothing to forward from or wait on, so the associative
+	// SQ search is skipped (Section 3, "Filtering for stores").
+	if s.sqFilter && (len(s.sq) == 0 || e.age < s.sq[0].age) {
+		s.sqSearchFiltered++
+		s.em.Add(energy.CompYLA, energy.RegisterOp(20))
+	} else {
+		// One associative SQ search per attempt (rejected retries pay again).
+		s.sqSearches++
+		s.em.Add(energy.CompSQ, s.costSQSearch)
+		for i := range s.sq {
+			st := &s.sq[i]
+			if st.age >= e.age {
+				break // SQ is age-ordered
+			}
+			if !st.addrResolved {
+				unresolved = true
+				continue
+			}
+			if isa.Overlap(in.Addr, in.Size, st.addr, st.size) {
+				match = st // keep youngest (list is ascending)
+			}
+		}
+	}
+	if match != nil {
+		if !isa.Contains(match.addr, match.size, in.Addr, in.Size) {
+			// Partial match: the SQ cannot assemble the value; reject and
+			// retry until the store drains.
+			s.loadRejections++
+			e.notBefore = s.cycle + 4
+			return true
+		}
+		if !match.dataReady {
+			// Address matches but the store's data is not ready: the SQ
+			// rejects the load to retry later (POWER4-style, footnote 1).
+			s.loadRejections++
+			e.notBefore = s.cycle + 4
+			return true
+		}
+	}
+	// The load issues now.
+	e.state = stIssued
+	s.leaveIQ(e)
+	mem := e.mem
+	mem.Issued = true
+	mem.IssueCycle = s.cycle
+	mem.SafeAtIssue = !unresolved
+	var lat int
+	if match != nil {
+		s.forwards++
+		lat = s.cfg.Memory.L1D.Latency // forwarding takes an L1-hit-like time
+	} else {
+		s.em.Add(energy.CompL1D, s.costL1D)
+		lat = s.mem.L1D.Access(in.Addr, false)
+		if lat > s.cfg.Memory.L1D.Latency {
+			s.em.Add(energy.CompL2, s.costL2)
+		}
+	}
+	s.scheduleCompletion(e.age, lat)
+	s.pol.LoadIssue(mem)
+	for _, m := range s.monitors {
+		m.LoadIssue(mem)
+	}
+	return false
+}
+
+// issueStore resolves the store's address: the SQ entry is updated, the
+// policy runs its dependence check (the baseline may demand a replay), and
+// the store completes once its data operand is also ready.
+func (s *Sim) issueStore(e *entry) {
+	e.state = stIssued
+	s.leaveIQ(e)
+	e.addrResolved = true
+	for i := range s.sq {
+		if s.sq[i].age == e.age {
+			s.sq[i].addrResolved = true
+			break
+		}
+	}
+	s.em.Add(energy.CompSQ, s.costSQWrite)
+	mem := e.mem
+	mem.ResolveCycle = s.cycle
+	for _, m := range s.monitors {
+		m.StoreResolve(mem)
+	}
+	if r := s.pol.StoreResolve(mem); r != nil {
+		s.replay(r)
+		// The store itself is older than the replay point and survives.
+	}
+	if s.producerReady(e.src2Prod) {
+		e.dataReady = true
+		s.markStoreDataReady(e.age)
+		s.scheduleCompletion(e.age, 1)
+	} else {
+		s.dataWait = append(s.dataWait, wheelEv{age: e.age, epoch: e.epoch})
+	}
+}
+
+func (s *Sim) markStoreDataReady(age uint64) {
+	for i := range s.sq {
+		if s.sq[i].age == age {
+			s.sq[i].dataReady = true
+			return
+		}
+	}
+}
+
+// completeStage retires execution events: instructions finishing this
+// cycle become completed, mispredicted branches trigger recovery, and
+// stores waiting on data are re-examined.
+func (s *Sim) completeStage() {
+	// Stores whose data operand may have become ready.
+	if len(s.dataWait) > 0 {
+		out := s.dataWait[:0]
+		for _, ev := range s.dataWait {
+			if !s.live(ev.age) {
+				continue
+			}
+			e := s.entryOf(ev.age)
+			if e.epoch != ev.epoch || e.dataReady {
+				continue
+			}
+			if s.producerReady(e.src2Prod) {
+				e.dataReady = true
+				s.markStoreDataReady(ev.age)
+				s.scheduleCompletion(ev.age, 1)
+				continue
+			}
+			out = append(out, ev)
+		}
+		s.dataWait = out
+	}
+	slot := s.cycle % wheelSize
+	events := s.wheel[slot]
+	s.wheel[slot] = events[:0:0] // release; fresh slice next time
+	for _, ev := range events {
+		if !s.live(ev.age) {
+			continue // squashed while in flight
+		}
+		e := s.entryOf(ev.age)
+		if e.epoch != ev.epoch {
+			continue // stale event for a recycled age
+		}
+		if e.state != stIssued {
+			continue
+		}
+		if e.inst.Op.IsStore() && !(e.addrResolved && e.dataReady) {
+			continue // premature event (data arrived separately)
+		}
+		e.state = stCompleted
+		s.traceEvent("CP", e.age, &e.inst, "")
+		if e.inst.HasDest() {
+			s.em.Add(energy.CompRegfile, s.costRegfile)
+		}
+		if e.inst.Op.IsBranch() {
+			s.resolveBranch(e)
+		}
+	}
+}
+
+// resolveBranch trains the predictor and, for mispredicted correct-path
+// branches, performs recovery: squash younger instructions, restore the
+// speculative history, clamp the YLA registers, and redirect fetch.
+func (s *Sim) resolveBranch(e *entry) {
+	if !e.predicted {
+		return // wrong-path branch: no training, no recovery
+	}
+	s.bp.Update(e.inst.PC, e.pred, e.inst.Taken, e.inst.Target)
+	if !e.mispredicted {
+		return
+	}
+	s.mispredictRecoveries++
+	s.traceMark("REC", fmt.Sprintf("branch age=%d mispredicted, squashing younger", e.age))
+	s.squashAfter(e.age, false)
+	s.bp.RestoreHistory(e.histCp, e.inst.Taken)
+	s.pol.Recover(e.age)
+	for _, m := range s.monitors {
+		m.Recover(e.age)
+	}
+	s.wpActive = false
+	s.wpStream = nil
+	s.fetchResume = s.cycle + uint64(s.cfg.MispredictPenalty)
+}

@@ -1,0 +1,238 @@
+package core
+
+import (
+	"dmdc/internal/energy"
+	"dmdc/internal/isa"
+	"dmdc/internal/lsq"
+)
+
+// fetchQCap bounds the decoupling queue between fetch and dispatch.
+func (s *Sim) fetchQCap() int { return 3 * s.cfg.FetchWidth }
+
+// fetchStage pulls up to FetchWidth instructions from the active source:
+// the replay queue (after a memory-order replay), the wrong-path stream
+// (after an undetected misprediction), or the committed-path generator.
+func (s *Sim) fetchStage() {
+	if s.cycle < s.fetchResume {
+		return
+	}
+	if len(s.fetchQ) >= s.fetchQCap() {
+		return
+	}
+	// One I-cache access per fetch cycle; a miss stalls the front end.
+	first, ok := s.peekPC()
+	if !ok {
+		return // wrong-path stall with no stream (BTB miss on taken branch)
+	}
+	s.em.Add(energy.CompL1I, s.costL1I)
+	if lat := s.mem.L1I.Access(first, false); lat > s.cfg.Memory.L1I.Latency {
+		s.fetchResume = s.cycle + uint64(lat)
+		return
+	}
+	for i := 0; i < s.cfg.FetchWidth && len(s.fetchQ) < s.fetchQCap(); i++ {
+		fi, ok := s.nextFetch()
+		if !ok {
+			break
+		}
+		s.fetchQ = append(s.fetchQ, fi)
+		if s.ptrace != nil {
+			wp := ""
+			if fi.wrongPath {
+				wp = "(wrong-path)"
+			}
+			s.traceEvent("FE", 0, &fi.inst, wp)
+		}
+		if fi.inst.Op.IsBranch() {
+			// Fetch break after any predicted-taken (or wrong-path taken)
+			// branch: the front end redirects next cycle.
+			if (fi.predicted && fi.pred.Taken) || (!fi.predicted && fi.inst.Taken) {
+				break
+			}
+			if fi.mispred {
+				break
+			}
+		}
+	}
+}
+
+// peekPC returns the PC fetch would read this cycle. Wrong-path mode has
+// priority over every other source: once a misprediction redirects the
+// front end, fetch must follow the (wrong) predicted path even if replay
+// instructions are queued behind it.
+func (s *Sim) peekPC() (uint64, bool) {
+	switch {
+	case s.wpActive:
+		if s.wpStream == nil {
+			return 0, false
+		}
+		// Peeking a generator is destructive; use the last fetched PC as
+		// the access proxy (fetch blocks are contiguous anyway).
+		return s.lastWPPC, true
+	case len(s.replayQ) > 0:
+		return s.replayQ[0].PC, true
+	default:
+		return s.lastGenPC, true
+	}
+}
+
+// nextFetch produces the next instruction from the active fetch source,
+// running branch prediction for correct-path branches.
+func (s *Sim) nextFetch() (fetchedInst, bool) {
+	switch {
+	case s.wpActive:
+		if s.wpStream == nil {
+			return fetchedInst{}, false
+		}
+		in := s.wpStream.Next()
+		s.lastWPPC = in.PC + 4
+		s.wrongPathFetched++
+		// Wrong-path instructions are not predicted: their branch fields
+		// already carry the stream's guessed direction.
+		return fetchedInst{inst: in, wrongPath: true}, true
+	case len(s.replayQ) > 0:
+		in := s.replayQ[0]
+		s.replayQ = s.replayQ[:copy(s.replayQ, s.replayQ[1:])]
+		return s.decorate(in), true
+	default:
+		in := s.wl.Next()
+		s.lastGenPC = in.PC + 4
+		return s.decorate(in), true
+	}
+}
+
+// decorate runs branch prediction on a correct-path instruction and, on a
+// misprediction, switches fetch to the wrong path.
+func (s *Sim) decorate(in isa.Inst) fetchedInst {
+	fi := fetchedInst{inst: in}
+	if !in.Op.IsBranch() {
+		return fi
+	}
+	fi.histCp = s.bp.HistoryCheckpoint()
+	fi.pred = s.bp.Predict(in.PC)
+	fi.predicted = true
+	s.em.Add(energy.CompBPred, s.costBPred)
+	mispredicted := fi.pred.Taken != in.Taken || (in.Taken && !fi.pred.BTBHit)
+	if mispredicted {
+		fi.mispred = true
+		s.wpActive = true
+		s.fetchSalt++
+		if fi.pred.Taken && !fi.pred.BTBHit {
+			// Direction says taken but no target: the front end stalls
+			// until the branch resolves.
+			s.wpStream = nil
+		} else {
+			s.wpStream = s.wl.WrongPath(in.PC, fi.pred.Taken, s.fetchSalt)
+			if s.wpStream != nil {
+				s.lastWPPC = in.PC + 4
+			}
+		}
+	}
+	return fi
+}
+
+// dispatchStage renames and inserts fetched instructions into the ROB,
+// issue queues, and memory queues, stalling on any structural hazard.
+func (s *Sim) dispatchStage() {
+	width := s.cfg.FetchWidth
+	for n := 0; n < width && len(s.fetchQ) > 0; n++ {
+		fi := &s.fetchQ[0]
+		if s.count >= len(s.rob) {
+			return // ROB full
+		}
+		in := &fi.inst
+		// Issue-queue space by cluster.
+		fp := in.Op.IsFP()
+		if fp && s.iqFP >= s.cfg.IQFP {
+			return
+		}
+		if !fp && !in.Op.IsMem() && s.iqInt >= s.cfg.IQInt {
+			return
+		}
+		if in.Op.IsMem() && s.iqInt >= s.cfg.IQInt {
+			return // address generation uses the integer cluster
+		}
+		// Physical registers.
+		if in.HasDest() {
+			if isa.IsFPReg(in.Dest) {
+				if s.freeFP == 0 {
+					return
+				}
+			} else if s.freeInt == 0 {
+				return
+			}
+		}
+		// Memory structures.
+		if in.Op.IsLoad() && s.inflightLoads >= s.pol.LoadCapacity() {
+			return
+		}
+		if in.Op.IsStore() && len(s.sq) >= s.cfg.SQSize {
+			return
+		}
+		s.insert(fi)
+		s.fetchQ = s.fetchQ[:copy(s.fetchQ, s.fetchQ[1:])]
+	}
+}
+
+// insert allocates the ROB entry and all side structures for one
+// instruction.
+func (s *Sim) insert(fi *fetchedInst) {
+	age := s.nextAge
+	s.nextAge++
+	idx := (s.headIdx + s.count) % len(s.rob)
+	s.count++
+	e := &s.rob[idx]
+	*e = entry{
+		inst:         fi.inst,
+		age:          age,
+		epoch:        s.epoch,
+		wrongPath:    fi.wrongPath,
+		state:        stWaiting,
+		src1Prod:     s.lookupProducer(fi.inst.Src1),
+		src2Prod:     s.lookupProducer(fi.inst.Src2),
+		pred:         fi.pred,
+		histCp:       fi.histCp,
+		mispredicted: fi.mispred,
+		predicted:    fi.predicted,
+	}
+	if fi.mispred {
+		s.wpBranchAge = age
+	}
+	s.traceEvent("DI", age, &fi.inst, "")
+	s.em.Add(energy.CompROB, s.costROB)
+	s.em.Add(energy.CompRename, s.costRename)
+	in := &fi.inst
+	if in.Op.IsMem() {
+		e.mem = &lsq.MemOp{
+			Age:       age,
+			IsLoad:    in.Op.IsLoad(),
+			Addr:      in.Addr,
+			Size:      in.Size,
+			WrongPath: fi.wrongPath,
+		}
+		if in.Op.IsLoad() {
+			s.inflightLoads++
+			s.pol.LoadDispatch(e.mem)
+		} else {
+			s.sq = append(s.sq, sqEntry{age: age, addr: in.Addr, size: in.Size})
+			s.em.Add(energy.CompSQ, s.costSQWrite)
+			for _, m := range s.monitors {
+				m.StoreDispatch(e.mem)
+			}
+		}
+	}
+	// Rename: record the new producer and consume a register.
+	if in.HasDest() {
+		s.regProducer[in.Dest] = age
+		if isa.IsFPReg(in.Dest) {
+			s.freeFP--
+		} else {
+			s.freeInt--
+		}
+	}
+	if in.Op.IsFP() {
+		s.iqFP++
+	} else {
+		s.iqInt++
+	}
+	s.waiting = append(s.waiting, age)
+}

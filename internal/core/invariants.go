@@ -1,0 +1,103 @@
+package core
+
+import "fmt"
+
+// CheckInvariants verifies the simulator's internal structural invariants.
+// It exists for tests: run a simulation stepwise and call it periodically
+// to catch bookkeeping drift (counter leaks, ordering violations) close to
+// where it happens rather than as mysterious end-state corruption.
+func (s *Sim) CheckInvariants() error {
+	if s.count < 0 || s.count > len(s.rob) {
+		return fmt.Errorf("rob count %d out of range", s.count)
+	}
+	var iqInt, iqFP, loads, stores int
+	prevAge := uint64(0)
+	for k := 0; k < s.count; k++ {
+		e := &s.rob[(s.headIdx+k)%len(s.rob)]
+		wantAge := s.headAge + uint64(k)
+		if e.age != wantAge {
+			return fmt.Errorf("rob ages not contiguous: slot %d has age %d, want %d", k, e.age, wantAge)
+		}
+		if e.age <= prevAge && k > 0 {
+			return fmt.Errorf("rob ages not increasing at slot %d", k)
+		}
+		prevAge = e.age
+		if e.state == stWaiting {
+			if e.inst.Op.IsFP() {
+				iqFP++
+			} else {
+				iqInt++
+			}
+		}
+		switch {
+		case e.inst.Op.IsLoad():
+			loads++
+		case e.inst.Op.IsStore():
+			stores++
+		}
+	}
+	if iqInt != s.iqInt || iqFP != s.iqFP {
+		return fmt.Errorf("issue-queue counters drifted: have int=%d fp=%d, rob says int=%d fp=%d",
+			s.iqInt, s.iqFP, iqInt, iqFP)
+	}
+	if loads != s.inflightLoads {
+		return fmt.Errorf("in-flight load counter drifted: have %d, rob says %d", s.inflightLoads, loads)
+	}
+	if stores != len(s.sq) {
+		return fmt.Errorf("store queue drifted: %d entries, rob says %d stores", len(s.sq), stores)
+	}
+	for i := 1; i < len(s.sq); i++ {
+		if s.sq[i].age <= s.sq[i-1].age {
+			return fmt.Errorf("store queue not age-ordered at %d", i)
+		}
+	}
+	for _, sq := range s.sq {
+		if !s.live(sq.age) {
+			return fmt.Errorf("store queue holds dead age %d", sq.age)
+		}
+		if !s.entryOf(sq.age).inst.Op.IsStore() {
+			return fmt.Errorf("store queue entry %d maps to a non-store", sq.age)
+		}
+	}
+	// Physical-register accounting: free + in-flight destinations = pool.
+	var intDests, fpDests int
+	for k := 0; k < s.count; k++ {
+		e := &s.rob[(s.headIdx+k)%len(s.rob)]
+		if e.inst.HasDest() {
+			if e.inst.Dest >= 32 { // FP register file
+				fpDests++
+			} else {
+				intDests++
+			}
+		}
+	}
+	if s.freeInt+intDests != s.cfg.IntRegs-32 {
+		return fmt.Errorf("int register leak: free %d + inflight %d != pool %d",
+			s.freeInt, intDests, s.cfg.IntRegs-32)
+	}
+	if s.freeFP+fpDests != s.cfg.FPRegs-32 {
+		return fmt.Errorf("fp register leak: free %d + inflight %d != pool %d",
+			s.freeFP, fpDests, s.cfg.FPRegs-32)
+	}
+	if len(s.fetchQ) > s.fetchQCap() {
+		return fmt.Errorf("fetch queue overflow: %d > %d", len(s.fetchQ), s.fetchQCap())
+	}
+	// The rename map must point at live producers (or be clear).
+	for reg, age := range s.regProducer {
+		if age != 0 && !s.live(age) {
+			return fmt.Errorf("rename map for r%d points at dead age %d", reg, age)
+		}
+	}
+	return nil
+}
+
+// StepN advances the pipeline n cycles; exposed for invariant-checking
+// tests that need finer control than Run.
+func (s *Sim) StepN(n int) {
+	for i := 0; i < n; i++ {
+		s.step()
+	}
+}
+
+// Committed returns the number of committed correct-path instructions.
+func (s *Sim) Committed() uint64 { return s.committed }

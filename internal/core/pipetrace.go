@@ -1,0 +1,54 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"dmdc/internal/isa"
+)
+
+// pipeTrace emits one line per pipeline event for instructions in a
+// configured age window — a debugging aid in the tradition of
+// SimpleScalar's ptrace. Events: FE fetch, DI dispatch, IS issue,
+// RJ reject, CP complete, CM commit, SQH squash, RPL replay, REC recovery.
+type pipeTrace struct {
+	w        io.Writer
+	fromInst uint64 // committed-instruction window start
+	toInst   uint64
+	active   bool
+}
+
+// WithPipelineTrace streams pipeline events to w while the committed
+// instruction count is within [from, to). Output volume is roughly a
+// dozen lines per instruction in the window; keep windows small.
+func WithPipelineTrace(w io.Writer, from, to uint64) Option {
+	return func(s *Sim) {
+		s.ptrace = &pipeTrace{w: w, fromInst: from, toInst: to}
+	}
+}
+
+// tick updates the trace window gate once per cycle.
+func (p *pipeTrace) tick(committed uint64) {
+	p.active = committed >= p.fromInst && committed < p.toInst
+}
+
+// event logs one pipeline event when the window is open.
+func (s *Sim) traceEvent(kind string, age uint64, in *isa.Inst, extra string) {
+	p := s.ptrace
+	if p == nil || !p.active {
+		return
+	}
+	if extra != "" {
+		extra = " " + extra
+	}
+	fmt.Fprintf(p.w, "cyc=%-8d %-3s age=%-6d %v%s\n", s.cycle, kind, age, in, extra)
+}
+
+// traceMark logs a global event (recovery, replay) without an instruction.
+func (s *Sim) traceMark(kind string, detail string) {
+	p := s.ptrace
+	if p == nil || !p.active {
+		return
+	}
+	fmt.Fprintf(p.w, "cyc=%-8d %-3s %s\n", s.cycle, kind, detail)
+}

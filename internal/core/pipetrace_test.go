@@ -1,0 +1,54 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestPipelineTraceWindow(t *testing.T) {
+	var buf bytes.Buffer
+	s := camSim(t, "gzip", WithPipelineTrace(&buf, 100, 140))
+	s.Run(2000)
+	out := buf.String()
+	if out == "" {
+		t.Fatal("no trace output")
+	}
+	// Every event kind appears somewhere in a reasonable window.
+	for _, kind := range []string{"FE ", "DI ", "IS ", "CP ", "CM "} {
+		if !strings.Contains(out, kind) {
+			t.Errorf("trace missing %q events", kind)
+		}
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	// The window covers ~40 instructions; a dozen events each is the
+	// expected order of magnitude. Runaway output would mean the gate leaks.
+	if len(lines) < 40 || len(lines) > 4000 {
+		t.Errorf("trace volume %d lines outside expected band", len(lines))
+	}
+	for _, line := range lines {
+		if !strings.HasPrefix(line, "cyc=") {
+			t.Fatalf("malformed trace line: %q", line)
+		}
+	}
+}
+
+func TestPipelineTraceClosedWindowSilent(t *testing.T) {
+	var buf bytes.Buffer
+	s := camSim(t, "gzip", WithPipelineTrace(&buf, 1_000_000, 1_000_100))
+	s.Run(2000)
+	if buf.Len() != 0 {
+		t.Errorf("trace emitted %d bytes outside its window", buf.Len())
+	}
+}
+
+func TestPipelineTraceReplayMark(t *testing.T) {
+	var buf bytes.Buffer
+	// DMDC on a high-alias benchmark over a wide window: replays occur.
+	s := dmdcSim(t, "vortex", false, WithPipelineTrace(&buf, 0, 200_000))
+	s.Run(150_000)
+	out := buf.String()
+	if !strings.Contains(out, "RPL") && !strings.Contains(out, "REC") {
+		t.Error("no replay or recovery marks in a long traced run")
+	}
+}

@@ -1,0 +1,71 @@
+package core
+
+import (
+	"dmdc/internal/isa"
+	"dmdc/internal/trace"
+)
+
+// InstSource yields a stream of instructions.
+type InstSource interface {
+	Next() isa.Inst
+}
+
+// WorkloadMeta describes a workload to the simulator: identity for
+// reports, and the data region that external invalidations target.
+type WorkloadMeta struct {
+	Name     string
+	Class    trace.Class
+	InvBase  uint64 // base of the region invalidations are drawn from
+	InvBytes uint64 // region size (0 disables injection)
+	Seed     int64  // seeds the invalidation-injection RNG
+}
+
+// Workload abstracts the instruction supply so the pipeline can run the
+// built-in synthetic generator, a recorded trace file, or a hand-written
+// stream in tests. WrongPath may return nil when the workload cannot
+// synthesize wrong-path instructions; the front end then stalls until the
+// mispredicted branch resolves, exactly as it does after a BTB miss.
+type Workload interface {
+	// Next returns the next committed-path instruction.
+	Next() isa.Inst
+	// WrongPath returns a stream of plausible wrong-path instructions for
+	// the mispredicted branch at branchPC, or nil if unavailable.
+	WrongPath(branchPC uint64, taken bool, salt uint64) InstSource
+	// EntryPC is the address of the first instruction (I-cache warming).
+	EntryPC() uint64
+	// Meta describes the workload.
+	Meta() WorkloadMeta
+}
+
+// generatorWorkload adapts trace.Generator to the Workload interface.
+type generatorWorkload struct {
+	g *trace.Generator
+}
+
+// FromGenerator wraps the synthetic benchmark generator as a Workload.
+func FromGenerator(g *trace.Generator) Workload {
+	return generatorWorkload{g: g}
+}
+
+func (w generatorWorkload) Next() isa.Inst { return w.g.Next() }
+
+func (w generatorWorkload) WrongPath(branchPC uint64, taken bool, salt uint64) InstSource {
+	ws := w.g.WrongPath(branchPC, taken, salt)
+	if ws == nil {
+		return nil // avoid a typed-nil interface
+	}
+	return ws
+}
+
+func (w generatorWorkload) EntryPC() uint64 { return w.g.EntryPC() }
+
+func (w generatorWorkload) Meta() WorkloadMeta {
+	p := w.g.Profile()
+	return WorkloadMeta{
+		Name:     p.Name,
+		Class:    p.Class,
+		InvBase:  0x1000_0000,
+		InvBytes: uint64(p.WorkingSetKB) * 1024,
+		Seed:     p.Seed,
+	}
+}

@@ -1,0 +1,50 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"dmdc/internal/trace"
+)
+
+func TestRelatedWorkComparison(t *testing.T) {
+	s := testSuite(t, 80_000, "gzip", "gcc", "swim")
+	r := s.RelatedWork()
+	if len(r.Rows) != 2 {
+		t.Fatalf("rows = %d", len(r.Rows))
+	}
+	for _, row := range r.Rows {
+		// The paper's Section 7 argument: DMDC accesses its table far
+		// less often (only unsafe-store windows) than the age table
+		// (every load writes, every store reads).
+		if row.DMDCTableAccessesPerK >= row.AgeTableAccessesPerK {
+			t.Errorf("%v: DMDC table accesses (%.0f/K) not below age table (%.0f/K)",
+				row.Class, row.DMDCTableAccessesPerK, row.AgeTableAccessesPerK)
+		}
+		// And fewer replays, since the age table squashes everything
+		// younger than the store on every hit.
+		if row.DMDCReplaysPerM > row.AgeTableReplaysPerM*2+10 {
+			t.Errorf("%v: DMDC replays (%.0f/M) far above age table (%.0f/M)",
+				row.Class, row.DMDCReplaysPerM, row.AgeTableReplaysPerM)
+		}
+		if row.AgeTableLQSavePct.N == 0 || row.DMDCLQSavePct.N == 0 {
+			t.Error("missing energy data")
+		}
+	}
+	out := r.String()
+	if !strings.Contains(out, "age-table") || !strings.Contains(out, "dmdc") {
+		t.Error("rendering incomplete")
+	}
+	_ = trace.INT
+}
+
+func TestAgeTableRunsAllBenchSubset(t *testing.T) {
+	s := testSuite(t, 30_000, "vortex")
+	rs := s.Results(keyAgeTable)
+	if len(rs) != 1 || rs[0] == nil {
+		t.Fatal("age table run missing")
+	}
+	if rs[0].IPC() <= 0 {
+		t.Error("age table run stalled")
+	}
+}

@@ -1,0 +1,176 @@
+// Package experiments regenerates every table and figure of the paper's
+// evaluation (Section 6). A Suite runs the full matrix of simulations —
+// baseline / YLA / DMDC (global, local, checking-queue) across the three
+// machine configurations and all 26 synthetic benchmarks — and exposes one
+// method per paper artifact that formats the corresponding result.
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"dmdc/internal/config"
+	"dmdc/internal/core"
+	"dmdc/internal/energy"
+	"dmdc/internal/lsq"
+	"dmdc/internal/trace"
+)
+
+// Options scope a suite run.
+type Options struct {
+	// Insts is the simulated instruction count per benchmark (the paper
+	// uses 100M-instruction SimPoints; the shapes stabilize far earlier).
+	Insts uint64
+	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
+	Parallelism int
+	// Benchmarks restricts the benchmark set; empty means all 26.
+	Benchmarks []string
+	// Progress, when non-nil, receives one line per completed run.
+	Progress func(string)
+}
+
+// DefaultOptions returns options suitable for regenerating the paper's
+// numbers in a few minutes on a laptop.
+func DefaultOptions() Options {
+	return Options{Insts: 1_000_000}
+}
+
+func (o Options) normalized() Options {
+	if o.Insts == 0 {
+		o.Insts = 1_000_000
+	}
+	if o.Parallelism <= 0 {
+		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if len(o.Benchmarks) == 0 {
+		o.Benchmarks = trace.Names()
+	}
+	return o
+}
+
+// PolicyFactory builds a policy wired to an energy model, given the
+// machine configuration.
+type PolicyFactory func(m config.Machine, em *energy.Model) lsq.Policy
+
+// BaselineFactory is the conventional CAM load queue.
+func BaselineFactory(m config.Machine, em *energy.Model) lsq.Policy {
+	return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize}, em)
+}
+
+// YLAFactory is the CAM load queue with 8-register YLA filtering (E3).
+func YLAFactory(m config.Machine, em *energy.Model) lsq.Policy {
+	return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterYLA, YLARegs: 8}, em)
+}
+
+// DMDCGlobalFactory is the paper's primary design.
+func DMDCGlobalFactory(m config.Machine, em *energy.Model) lsq.Policy {
+	return lsq.NewDMDC(lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize), em)
+}
+
+// DMDCLocalFactory is the local-window variant (Section 4.4).
+func DMDCLocalFactory(m config.Machine, em *energy.Model) lsq.Policy {
+	cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
+	cfg.Local = true
+	return lsq.NewDMDC(cfg, em)
+}
+
+// DMDCNoSafeLoadsFactory disables the safe-load bypass (E12 ablation).
+func DMDCNoSafeLoadsFactory(m config.Machine, em *energy.Model) lsq.Policy {
+	cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
+	cfg.SafeLoads = false
+	return lsq.NewDMDC(cfg, em)
+}
+
+// DMDCQueueFactory replaces the hash table with an N-entry associative
+// checking queue (E13).
+func DMDCQueueFactory(n int) PolicyFactory {
+	return func(m config.Machine, em *energy.Model) lsq.Policy {
+		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
+		cfg.TableSize = 0
+		cfg.QueueSize = n
+		return lsq.NewDMDC(cfg, em)
+	}
+}
+
+// runSpec names one simulation in the matrix.
+type runSpec struct {
+	key       string
+	machine   config.Machine
+	factory   PolicyFactory
+	invRate   float64
+	monitors  func() []lsq.Monitor
+	extraOpts []core.Option
+}
+
+// runMatrix executes each spec over every benchmark, in parallel, and
+// returns results keyed by spec key, in benchmark order.
+func runMatrix(o Options, specs []runSpec) map[string][]*core.Result {
+	type job struct {
+		spec  runSpec
+		bench string
+		slot  int
+	}
+	var jobs []job
+	for _, sp := range specs {
+		for i, b := range o.Benchmarks {
+			jobs = append(jobs, job{spec: sp, bench: b, slot: i})
+		}
+	}
+	out := make(map[string][]*core.Result, len(specs))
+	for _, sp := range specs {
+		out[sp.key] = make([]*core.Result, len(o.Benchmarks))
+	}
+	var mu sync.Mutex
+	sem := make(chan struct{}, o.Parallelism)
+	var wg sync.WaitGroup
+	for _, j := range jobs {
+		wg.Add(1)
+		go func(j job) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			prof, err := trace.ByName(j.bench)
+			if err != nil {
+				panic(err) // benchmark list is validated up front
+			}
+			em := energy.NewModel(j.spec.machine.CoreSize())
+			pol := j.spec.factory(j.spec.machine, em)
+			opts := append([]core.Option{}, j.spec.extraOpts...)
+			if j.spec.invRate > 0 {
+				opts = append(opts, core.WithInvalidations(j.spec.invRate))
+			}
+			if j.spec.monitors != nil {
+				opts = append(opts, core.WithMonitors(j.spec.monitors()...))
+			}
+			sim := core.New(j.spec.machine, prof, pol, em, opts...)
+			r := sim.Run(o.Insts)
+			mu.Lock()
+			out[j.spec.key][j.slot] = r
+			mu.Unlock()
+			if o.Progress != nil {
+				o.Progress(fmt.Sprintf("done %s/%s", j.spec.key, j.bench))
+			}
+		}(j)
+	}
+	wg.Wait()
+	return out
+}
+
+// classOf returns each result's benchmark class.
+func classOf(r *core.Result) trace.Class { return r.Class }
+
+// byClass partitions results into INT and FP groups.
+func byClass(rs []*core.Result) (ints, fps []*core.Result) {
+	for _, r := range rs {
+		if r == nil {
+			continue
+		}
+		if classOf(r) == trace.INT {
+			ints = append(ints, r)
+		} else {
+			fps = append(fps, r)
+		}
+	}
+	return ints, fps
+}

@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"dmdc/internal/config"
+	"dmdc/internal/core"
+	"dmdc/internal/lsq"
+)
+
+// Monitor sweep parameters for Figures 2 and 3.
+var (
+	// YLACounts are the register counts swept in Figure 2.
+	YLACounts = []int{1, 2, 4, 8, 16}
+	// BloomSizes are the filter sizes swept in Figure 3.
+	BloomSizes = []int{32, 64, 128, 256, 512, 1024}
+	// QueueSizes are the checking-queue sizes swept for E13.
+	QueueSizes = []int{4, 8, 16, 32}
+	// InvRates are Table 6's external invalidation rates per 1000 cycles.
+	InvRates = []float64{0, 1, 10, 100}
+)
+
+// Run keys for the simulation matrix.
+const (
+	keyMonitored = "monitored-baseline" // config2 baseline + passive monitors
+	keyYLA       = "yla-config2"
+)
+
+func keyBase(cfg string) string   { return "baseline-" + cfg }
+func keyGlobal(cfg string) string { return "dmdc-global-" + cfg }
+func keyLocal(cfg string) string  { return "dmdc-local-" + cfg }
+func keyInv(rate float64) string  { return fmt.Sprintf("dmdc-inv%g", rate) }
+func keyNoSafe() string           { return "dmdc-nosafe" }
+func keyQueue(n int) string       { return fmt.Sprintf("dmdc-queue%d", n) }
+
+// Suite lazily runs the simulation matrix: each experiment method triggers
+// only the runs it needs, and results are shared between experiments.
+type Suite struct {
+	opts    Options
+	mu      sync.Mutex
+	results map[string][]*core.Result
+}
+
+// NewSuite builds a suite; runs happen on demand.
+func NewSuite(o Options) *Suite {
+	return &Suite{opts: o.normalized(), results: make(map[string][]*core.Result)}
+}
+
+// Options returns the normalized options in effect.
+func (s *Suite) Options() Options { return s.opts }
+
+// specFor materializes the runSpec for a key.
+func (s *Suite) specFor(key string) runSpec {
+	c2 := config.Config2()
+	switch key {
+	case keyMonitored:
+		return runSpec{key: key, machine: c2, factory: BaselineFactory, monitors: allMonitors}
+	case keyYLA:
+		return runSpec{key: key, machine: c2, factory: YLAFactory}
+	case keyNoSafe():
+		return runSpec{key: key, machine: c2, factory: DMDCNoSafeLoadsFactory}
+	}
+	for _, m := range config.All() {
+		switch key {
+		case keyBase(m.Name):
+			return runSpec{key: key, machine: m, factory: BaselineFactory}
+		case keyGlobal(m.Name):
+			return runSpec{key: key, machine: m, factory: DMDCGlobalFactory}
+		case keyLocal(m.Name):
+			return runSpec{key: key, machine: m, factory: DMDCLocalFactory}
+		}
+	}
+	for _, rate := range InvRates {
+		if key == keyInv(rate) {
+			return runSpec{key: key, machine: c2, factory: DMDCGlobalFactory, invRate: rate}
+		}
+	}
+	for _, n := range QueueSizes {
+		if key == keyQueue(n) {
+			return runSpec{key: key, machine: c2, factory: DMDCQueueFactory(n)}
+		}
+	}
+	if sp, ok := s.extensionSpec(key); ok {
+		return sp
+	}
+	if sp, ok := s.relatedWorkSpec(key); ok {
+		return sp
+	}
+	if sp, ok := s.verificationSpec(key); ok {
+		return sp
+	}
+	panic("experiments: unknown run key " + key)
+}
+
+// allMonitors builds the passive monitor set for the instrumented baseline.
+func allMonitors() []lsq.Monitor {
+	var ms []lsq.Monitor
+	for _, n := range YLACounts {
+		ms = append(ms, lsq.NewYLAMonitor(n, lsq.QuadWordShift))
+		ms = append(ms, lsq.NewYLAMonitor(n, lsq.CacheLineShift))
+	}
+	for _, sz := range BloomSizes {
+		ms = append(ms, lsq.NewBloomMonitor(sz))
+	}
+	ms = append(ms, lsq.NewStoreAgeMonitor())
+	return ms
+}
+
+// get returns results for the given keys, running any that are missing.
+func (s *Suite) get(keys ...string) map[string][]*core.Result {
+	s.mu.Lock()
+	var missing []runSpec
+	for _, k := range keys {
+		if _, ok := s.results[k]; !ok {
+			missing = append(missing, s.specFor(k))
+		}
+	}
+	s.mu.Unlock()
+	if len(missing) > 0 {
+		fresh := runMatrix(s.opts, missing)
+		s.mu.Lock()
+		for k, v := range fresh {
+			s.results[k] = v
+		}
+		s.mu.Unlock()
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[string][]*core.Result, len(keys))
+	for _, k := range keys {
+		out[k] = s.results[k]
+	}
+	return out
+}
+
+// pairByBenchmark zips two result sets (same benchmark ordering).
+type pair struct {
+	base *core.Result
+	test *core.Result
+}
+
+func zip(base, test []*core.Result) []pair {
+	out := make([]pair, 0, len(base))
+	for i := range base {
+		if base[i] == nil || test[i] == nil {
+			continue
+		}
+		out = append(out, pair{base: base[i], test: test[i]})
+	}
+	return out
+}
+
+// slowdown returns test/base execution-time ratio minus one.
+func (p pair) slowdown() float64 {
+	return float64(p.test.Cycles)/float64(p.base.Cycles) - 1
+}
+
+// lqSavings returns the fraction of LQ-functionality energy saved.
+func (p pair) lqSavings() float64 {
+	return savings(p.base.Energy.LQEnergy(), p.test.Energy.LQEnergy())
+}
+
+// totalSavings returns the fraction of processor-wide energy saved.
+func (p pair) totalSavings() float64 {
+	return savings(p.base.Energy.Total(), p.test.Energy.Total())
+}
+
+func savings(base, test float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return (base - test) / base
+}

@@ -1,0 +1,540 @@
+package lsq
+
+import (
+	"fmt"
+
+	"dmdc/internal/energy"
+	"dmdc/internal/isa"
+	"dmdc/internal/stats"
+)
+
+// DMDCConfig parameterizes Delayed Memory Dependence Checking.
+type DMDCConfig struct {
+	// TableSize is the number of checking-table entries (power of two).
+	// Ignored when QueueSize > 0.
+	TableSize int
+	// QueueSize, when positive, replaces the hash table with an
+	// associative checking queue of that many entries (Section 4.4).
+	QueueSize int
+	// Local selects local end-check management: each unsafe store records
+	// its own window boundary at resolve and publishes it only at commit,
+	// so overlapping windows merge less (Section 4.4 "Local DMDC").
+	Local bool
+	// SafeLoads enables the safe-load bypass optimization (Section 4.2).
+	SafeLoads bool
+	// YLARegs is the number of quad-word-interleaved YLA registers.
+	YLARegs int
+	// Coherence enables write-serialization support: INV bits in the
+	// checking table and a second, cache-line-interleaved YLA set
+	// (Section 4.3).
+	Coherence bool
+	// LineYLARegs is the size of the line-interleaved set (Coherence only).
+	LineYLARegs int
+	// LoadCap bounds in-flight loads; DMDC needs only a FIFO of hash keys,
+	// so this is typically the ROB size.
+	LoadCap int
+}
+
+// DefaultDMDCConfig returns the paper's evaluated configuration for a
+// given checking-table size and load capacity: 8+8 YLA registers, global
+// windows, safe loads enabled, coherence support on.
+func DefaultDMDCConfig(tableSize, loadCap int) DMDCConfig {
+	return DMDCConfig{
+		TableSize:   tableSize,
+		SafeLoads:   true,
+		YLARegs:     8,
+		Coherence:   true,
+		LineYLARegs: 8,
+		LoadCap:     loadCap,
+	}
+}
+
+// Validate reports the first configuration problem, or nil.
+func (c DMDCConfig) Validate() error {
+	if c.QueueSize < 0 {
+		return fmt.Errorf("lsq: negative queue size")
+	}
+	if c.QueueSize == 0 {
+		if c.TableSize < 2 || c.TableSize&(c.TableSize-1) != 0 {
+			return fmt.Errorf("lsq: checking table size %d must be a power of two ≥ 2", c.TableSize)
+		}
+	}
+	if c.YLARegs < 1 || c.YLARegs&(c.YLARegs-1) != 0 {
+		return fmt.Errorf("lsq: YLA register count %d must be a power of two ≥ 1", c.YLARegs)
+	}
+	if c.Coherence && (c.LineYLARegs < 1 || c.LineYLARegs&(c.LineYLARegs-1) != 0) {
+		return fmt.Errorf("lsq: line YLA register count %d must be a power of two ≥ 1", c.LineYLARegs)
+	}
+	if c.LoadCap < 1 {
+		return fmt.Errorf("lsq: load capacity %d must be positive", c.LoadCap)
+	}
+	return nil
+}
+
+// tableEntry is one checking-table entry: a 4-bit WRT bitmap (one bit per
+// 2-byte granule of the quad word), an INV bit, and a bookkeeping flag
+// recording whether WRT bits were promoted from INV (so replays can be
+// attributed to write-serialization enforcement in reports).
+type tableEntry struct {
+	wrt         uint8
+	inv         bool
+	invPromoted bool
+}
+
+// winStore records a committed unsafe store whose checking window is
+// currently open; used for exact-address checking (queue variant) and for
+// oracle classification of replays.
+type winStore struct {
+	age          uint64
+	addr         uint64
+	size         uint8
+	resolveCycle uint64
+	endAge       uint64
+}
+
+// DMDC implements delayed memory dependence checking. The associative LQ
+// is gone: loads record a hash key in a FIFO at issue, unsafe stores mark
+// the checking table at commit, and loads index the table when they commit
+// during a checking window.
+type DMDC struct {
+	cfg     DMDCConfig
+	em      *energy.Model
+	ylaQW   *YLAFile
+	ylaLine *YLAFile
+
+	table   []tableEntry
+	dirty   []uint32
+	tblMask uint32
+	tblBits uint
+
+	queue           []winStore
+	overflowPending bool
+
+	endCheck uint64
+	checking bool
+
+	windowStores []winStore
+
+	// Current-window accumulators.
+	winInsts, winLoads, winSafeLoads, winStoresN uint64
+
+	// Statistics.
+	safeStores, unsafeStores      uint64
+	safeLoadBypass                uint64
+	loadsChecked                  uint64
+	checkingCycles, totalCycles   uint64
+	replays                       [NumCauses]uint64
+	invActivations, invalidations uint64
+	invPromotions                 uint64
+	windowInsts, windowLoads      stats.Summary
+	windowSafeLoads               stats.Summary
+	windows, singleStoreWindows   uint64
+}
+
+// NewDMDC builds the policy; em may be energy.Disabled(). It panics on an
+// invalid configuration (static experiment input).
+func NewDMDC(cfg DMDCConfig, em *energy.Model) *DMDC {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	d := &DMDC{
+		cfg:   cfg,
+		em:    em,
+		ylaQW: NewYLAFile(cfg.YLARegs, QuadWordShift),
+	}
+	if cfg.Coherence {
+		d.ylaLine = NewYLAFile(cfg.LineYLARegs, CacheLineShift)
+	}
+	if cfg.QueueSize == 0 {
+		d.table = make([]tableEntry, cfg.TableSize)
+		d.tblMask = uint32(cfg.TableSize - 1)
+		for s := cfg.TableSize; s > 1; s >>= 1 {
+			d.tblBits++
+		}
+	}
+	return d
+}
+
+// Name identifies the variant.
+func (d *DMDC) Name() string {
+	mode := "global"
+	if d.cfg.Local {
+		mode = "local"
+	}
+	if d.cfg.QueueSize > 0 {
+		return fmt.Sprintf("dmdc-%s-q%d", mode, d.cfg.QueueSize)
+	}
+	return fmt.Sprintf("dmdc-%s-t%d", mode, d.cfg.TableSize)
+}
+
+// LoadCapacity returns the configured in-flight load limit.
+func (d *DMDC) LoadCapacity() int { return d.cfg.LoadCap }
+
+// hash maps an address's quad word onto the checking table by XOR folding.
+func (d *DMDC) hash(addr uint64) uint32 {
+	v := addr >> QuadWordShift
+	var h uint64
+	for v != 0 {
+		h ^= v
+		v >>= d.tblBits
+	}
+	return uint32(h) & d.tblMask
+}
+
+// LoadDispatch charges the hash-key FIFO allocation.
+func (d *DMDC) LoadDispatch(*MemOp) {
+	d.em.Add(energy.CompHashQueue, energy.FIFOAccess(16))
+}
+
+// LoadIssue records the load's hash key and updates the YLA registers —
+// including for wrong-path loads, which is how YLA gets corrupted.
+func (d *DMDC) LoadIssue(op *MemOp) {
+	if d.cfg.QueueSize == 0 {
+		op.HashKey = d.hash(op.Addr)
+	}
+	op.Bitmap = isa.QuadWordBitmap(op.Addr, op.Size)
+	d.em.Add(energy.CompHashQueue, energy.FIFOAccess(16))
+	d.ylaQW.Update(op.Addr, op.Age)
+	d.em.Add(energy.CompYLA, energy.RegisterOp(20))
+	if d.ylaLine != nil {
+		d.ylaLine.Update(op.Addr, op.Age)
+		d.em.Add(energy.CompYLA, energy.RegisterOp(20))
+	}
+}
+
+// StoreResolve classifies the store via the YLA registers. Unsafe stores
+// record (and, for global DMDC, publish) their checking-window boundary.
+// DMDC never replays at resolve time.
+func (d *DMDC) StoreResolve(op *MemOp) *Replay {
+	d.em.Add(energy.CompYLA, energy.RegisterOp(20))
+	safe := d.ylaQW.SafeStore(op.Addr, op.Age)
+	boundary := d.ylaQW.Age(op.Addr)
+	if d.ylaLine != nil {
+		d.em.Add(energy.CompYLA, energy.RegisterOp(20))
+		lineSafe := d.ylaLine.SafeStore(op.Addr, op.Age)
+		// Safe if either set proves no younger load issued to this address;
+		// when unsafe, the tighter (older) boundary still covers every
+		// possibly-premature load, since such a load updates both sets.
+		if lineSafe {
+			safe = true
+		} else if b := d.ylaLine.Age(op.Addr); b < boundary {
+			boundary = b
+		}
+	}
+	if safe {
+		d.safeStores++
+		return nil
+	}
+	d.unsafeStores++
+	op.Unsafe = true
+	op.Bitmap = isa.QuadWordBitmap(op.Addr, op.Size)
+	op.EndAge = boundary
+	if !d.cfg.Local {
+		// Global end-check register is pushed forward at issue time.
+		if boundary > d.endCheck {
+			d.endCheck = boundary
+		}
+		d.em.Add(energy.CompYLA, energy.RegisterOp(20)) // end-check update
+	}
+	return nil
+}
+
+// StoreCommit marks the checking table (or queue) for unsafe stores and
+// activates the checking mode.
+func (d *DMDC) StoreCommit(op *MemOp) {
+	if !op.Unsafe {
+		return
+	}
+	if d.cfg.Local {
+		if op.EndAge > d.endCheck {
+			d.endCheck = op.EndAge
+		}
+		d.em.Add(energy.CompYLA, energy.RegisterOp(20))
+	}
+	ws := winStore{age: op.Age, addr: op.Addr, size: op.Size,
+		resolveCycle: op.ResolveCycle, endAge: op.EndAge}
+	if d.cfg.QueueSize > 0 {
+		d.em.Add(energy.CompCheckTable, energy.RAMAccess(d.cfg.QueueSize, energy.AddressBits))
+		if len(d.queue) >= d.cfg.QueueSize {
+			d.overflowPending = true
+		} else {
+			d.queue = append(d.queue, ws)
+		}
+	} else {
+		idx := d.hash(op.Addr)
+		e := &d.table[idx]
+		if e.wrt == 0 && !e.inv {
+			d.dirty = append(d.dirty, idx)
+		}
+		e.wrt |= op.Bitmap
+		d.em.Add(energy.CompCheckTable, energy.RAMAccess(d.cfg.TableSize, 5))
+	}
+	if len(d.windowStores) < 8192 { // bound memory in pathological merges
+		d.windowStores = append(d.windowStores, ws)
+	}
+	if !d.checking {
+		d.startWindow()
+	}
+	d.winStoresN++
+}
+
+// startWindow begins a checking window and resets its accumulators.
+func (d *DMDC) startWindow() {
+	d.checking = true
+	d.winInsts, d.winLoads, d.winSafeLoads, d.winStoresN = 0, 0, 0, 0
+}
+
+// endChecking closes the window: flash-clears the table/queue, discards
+// the window store records, and logs the window statistics.
+func (d *DMDC) endChecking() {
+	if !d.checking {
+		return
+	}
+	d.checking = false
+	for _, idx := range d.dirty {
+		d.table[idx] = tableEntry{}
+	}
+	d.dirty = d.dirty[:0]
+	d.queue = d.queue[:0]
+	d.overflowPending = false
+	d.windowStores = d.windowStores[:0]
+	d.em.Add(energy.CompCheckTable, energy.RAMAccess(d.cfg.TableSize+d.cfg.QueueSize, 2))
+	d.windows++
+	if d.winStoresN == 1 {
+		d.singleStoreWindows++
+	}
+	d.windowInsts.Observe(float64(d.winInsts))
+	d.windowLoads.Observe(float64(d.winLoads))
+	d.windowSafeLoads.Observe(float64(d.winSafeLoads))
+}
+
+// InstCommit counts window contents and terminates the checking mode once
+// commit passes the end-check age.
+func (d *DMDC) InstCommit(age uint64) {
+	if !d.checking {
+		return
+	}
+	if age > d.endCheck {
+		d.endChecking()
+		return
+	}
+	d.winInsts++
+}
+
+// LoadCommit performs the delayed dependence check.
+func (d *DMDC) LoadCommit(op *MemOp) *Replay {
+	d.em.Add(energy.CompHashQueue, energy.FIFOAccess(16))
+	if !d.checking {
+		return nil
+	}
+	d.winLoads++
+	if d.cfg.SafeLoads && op.SafeAtIssue {
+		d.winSafeLoads++
+		d.safeLoadBypass++
+		return nil
+	}
+	d.loadsChecked++
+	if d.cfg.QueueSize > 0 {
+		return d.queueCheck(op)
+	}
+	d.em.Add(energy.CompCheckTable, energy.RAMAccess(d.cfg.TableSize, 5))
+	e := &d.table[op.HashKey]
+	if e.wrt&op.Bitmap != 0 {
+		cause := d.classify(op, e.invPromoted)
+		d.replays[cause]++
+		d.endChecking()
+		return &Replay{FromAge: op.Age, Cause: cause}
+	}
+	if d.cfg.Coherence && e.inv {
+		// First same-location load after the invalidation: promote so a
+		// second one replays (write serialization, Section 4.3).
+		if e.wrt == 0 {
+			// Entry becomes dirty via promotion only.
+			if !containsIdx(d.dirty, op.HashKey) {
+				d.dirty = append(d.dirty, op.HashKey)
+			}
+		}
+		e.wrt |= op.Bitmap
+		e.invPromoted = true
+		d.invPromotions++
+		d.em.Add(energy.CompCheckTable, energy.RAMAccess(d.cfg.TableSize, 5))
+	}
+	return nil
+}
+
+func containsIdx(s []uint32, v uint32) bool {
+	for _, x := range s {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// queueCheck is the associative checking-queue variant of LoadCommit.
+func (d *DMDC) queueCheck(op *MemOp) *Replay {
+	d.em.Add(energy.CompCheckTable, energy.CAMSearch(d.cfg.QueueSize, energy.AddressBits))
+	if d.overflowPending {
+		// The queue lost a store: conservatively replay the first checked
+		// load so no violation can slip through.
+		d.replays[CauseOverflow]++
+		d.endChecking()
+		return &Replay{FromAge: op.Age, Cause: CauseOverflow}
+	}
+	for i := range d.queue {
+		ws := &d.queue[i]
+		if isa.Overlap(op.Addr, op.Size, ws.addr, ws.size) {
+			cause := d.classify(op, false)
+			d.replays[cause]++
+			d.endChecking()
+			return &Replay{FromAge: op.Age, Cause: cause}
+		}
+	}
+	return nil
+}
+
+// classify attributes a replay per the paper's Table 3 taxonomy, using the
+// oracle timing captured on the MemOps.
+func (d *DMDC) classify(op *MemOp, invPromoted bool) Cause {
+	var addrAfterX, addrAfterY bool
+	for i := range d.windowStores {
+		ws := &d.windowStores[i]
+		if !isa.Overlap(op.Addr, op.Size, ws.addr, ws.size) {
+			continue
+		}
+		if op.IssueCycle < ws.resolveCycle {
+			// The load really did issue before the store's address was
+			// known: a genuine premature load.
+			return CauseTrue
+		}
+		if op.Age <= ws.endAge {
+			addrAfterX = true
+		} else {
+			addrAfterY = true
+		}
+	}
+	if addrAfterX {
+		return CauseFalseAddrX
+	}
+	if addrAfterY {
+		return CauseFalseAddrY
+	}
+	// No true address overlap: a hashing conflict (or an INV promotion).
+	var before, hashX, hashY, found bool
+	for i := range d.windowStores {
+		ws := &d.windowStores[i]
+		if d.cfg.QueueSize == 0 && d.hash(ws.addr) != op.HashKey {
+			continue
+		}
+		if d.cfg.QueueSize > 0 {
+			continue // the queue has no hash conflicts
+		}
+		found = true
+		if op.IssueCycle < ws.resolveCycle {
+			before = true
+		} else if op.Age <= ws.endAge {
+			hashX = true
+		} else {
+			hashY = true
+		}
+	}
+	switch {
+	case before:
+		return CauseFalseHashBefore
+	case hashX:
+		return CauseFalseHashX
+	case hashY && found:
+		return CauseFalseHashY
+	case invPromoted:
+		return CauseInvalidation
+	default:
+		// A store record was dropped by the windowStores cap, or the WRT
+		// bits came from an invalidation promotion.
+		return CauseInvalidation
+	}
+}
+
+// Squash drops policy state for squashed ops. DMDC keeps no per-load
+// structures beyond the hash-key FIFO (whose entries die with the ROB
+// entries), and window stores have already committed, so only the
+// committed-path invariant matters: nothing to unwind.
+func (d *DMDC) Squash(uint64) {}
+
+// Recover clamps the YLA registers to the recovery point (the paper's
+// wrong-path remedy).
+func (d *DMDC) Recover(age uint64) {
+	d.ylaQW.Clamp(age)
+	if d.ylaLine != nil {
+		d.ylaLine.Clamp(age)
+	}
+}
+
+// Invalidate handles an external invalidation: set INV bits for the line's
+// quad words and open (or extend) a checking window bounded by the
+// line-interleaved YLA set.
+func (d *DMDC) Invalidate(lineAddr uint64) {
+	d.invalidations++
+	if !d.cfg.Coherence {
+		return
+	}
+	boundary := d.ylaLine.Age(lineAddr)
+	d.em.Add(energy.CompYLA, energy.RegisterOp(20))
+	if boundary == 0 {
+		// No load has issued to this bank: write serialization cannot have
+		// been violated, so no window is needed.
+		return
+	}
+	if d.cfg.QueueSize == 0 {
+		lineBase := lineAddr &^ uint64(1<<CacheLineShift-1)
+		for qw := uint64(0); qw < 1<<(CacheLineShift-QuadWordShift); qw++ {
+			idx := d.hash(lineBase + qw*8)
+			e := &d.table[idx]
+			if e.wrt == 0 && !e.inv {
+				d.dirty = append(d.dirty, idx)
+			}
+			e.inv = true
+		}
+		d.em.Add(energy.CompCheckTable, energy.RAMAccess(d.cfg.TableSize, 5))
+	}
+	if boundary > d.endCheck {
+		d.endCheck = boundary
+	}
+	if !d.checking {
+		d.startWindow()
+		d.invActivations++
+	}
+}
+
+// Tick accounts checking-mode residency.
+func (d *DMDC) Tick() {
+	d.totalCycles++
+	if d.checking {
+		d.checkingCycles++
+	}
+}
+
+// Report writes the policy's counters into s.
+func (d *DMDC) Report(s *stats.Set) {
+	s.Add("safe_stores", float64(d.safeStores))
+	s.Add("unsafe_stores", float64(d.unsafeStores))
+	s.Add("safe_load_bypass", float64(d.safeLoadBypass))
+	s.Add("loads_checked", float64(d.loadsChecked))
+	s.Add("checking_cycles", float64(d.checkingCycles))
+	s.Add("policy_cycles", float64(d.totalCycles))
+	s.Add("windows", float64(d.windows))
+	s.Add("single_store_windows", float64(d.singleStoreWindows))
+	s.Add("window_insts_sum", d.windowInsts.Sum)
+	s.Add("window_loads_sum", d.windowLoads.Sum)
+	s.Add("window_safe_loads_sum", d.windowSafeLoads.Sum)
+	s.Add("inv_received", float64(d.invalidations))
+	s.Add("inv_activations", float64(d.invActivations))
+	s.Add("inv_promotions", float64(d.invPromotions))
+	var total uint64
+	for cause := Cause(0); cause < Cause(NumCauses); cause++ {
+		if d.replays[cause] > 0 {
+			s.Add("replay_"+cause.String(), float64(d.replays[cause]))
+		}
+		total += d.replays[cause]
+	}
+	s.Add("replays_total", float64(total))
+}

@@ -1,0 +1,165 @@
+package lsq
+
+import (
+	"testing"
+
+	"dmdc/internal/stats"
+)
+
+func TestYLAMonitor(t *testing.T) {
+	m := NewYLAMonitor(8, QuadWordShift)
+	if m.Name() != "yla8_qw" {
+		t.Errorf("name = %q", m.Name())
+	}
+	ml := NewYLAMonitor(16, CacheLineShift)
+	if ml.Name() != "yla16_line" {
+		t.Errorf("name = %q", ml.Name())
+	}
+	// Safe store (younger than the issued load): filtered.
+	m.LoadIssue(newLoad(5, 0x100, 8))
+	m.StoreResolve(newStore(9, 0x100, 8))
+	// Unsafe store (older, same bank): not filtered.
+	m.StoreResolve(newStore(3, 0x100, 8))
+	if got := m.FilterRate(); got != 0.5 {
+		t.Errorf("filter rate = %v, want 0.5", got)
+	}
+	s := stats.NewSet()
+	m.Report(s)
+	if s.Get("yla8_qw_filter_rate") != 0.5 || s.Get("yla8_qw_searches") != 2 {
+		t.Errorf("report wrong: %v", s)
+	}
+}
+
+func TestYLAMonitorRecover(t *testing.T) {
+	m := NewYLAMonitor(1, QuadWordShift)
+	m.LoadIssue(newLoad(100, 0x100, 8)) // wrong-path pollution
+	m.Recover(50)
+	m.StoreResolve(newStore(60, 0x100, 8))
+	if m.FilterRate() != 1 {
+		t.Error("clamp did not restore filtering")
+	}
+}
+
+func TestYLAMonitorEmptyRate(t *testing.T) {
+	m := NewYLAMonitor(1, QuadWordShift)
+	if m.FilterRate() != 0 {
+		t.Error("empty monitor rate should be 0")
+	}
+}
+
+func TestBloomMonitor(t *testing.T) {
+	m := NewBloomMonitor(256)
+	if m.Name() != "bf256" {
+		t.Errorf("name = %q", m.Name())
+	}
+	m.LoadIssue(newLoad(5, 0x100, 8))
+	// Store to an unrelated address: bucket empty, filtered.
+	m.StoreResolve(newStore(3, 0x100+8*256*64, 8))
+	// Store to the load's address: not filtered.
+	m.StoreResolve(newStore(3, 0x100, 8))
+	if m.FilterRate() != 0.5 {
+		t.Errorf("filter rate = %v, want 0.5", m.FilterRate())
+	}
+	s := stats.NewSet()
+	m.Report(s)
+	if s.Get("bf256_filter_rate") != 0.5 {
+		t.Error("report wrong")
+	}
+}
+
+func TestBloomMonitorDrainOnStoreCommit(t *testing.T) {
+	m := NewBloomMonitor(64)
+	m.LoadIssue(newLoad(5, 0x100, 8))
+	// A store younger than the load commits: the load must leave the filter.
+	m.StoreCommit(newStore(9, 0x900, 8))
+	m.StoreResolve(newStore(3, 0x100, 8))
+	if m.FilterRate() != 1 {
+		t.Error("committed load not drained from bloom filter")
+	}
+}
+
+func TestBloomMonitorSquash(t *testing.T) {
+	m := NewBloomMonitor(64)
+	m.LoadIssue(newLoad(50, 0x100, 8))
+	m.Squash(40)
+	m.StoreResolve(newStore(3, 0x100, 8))
+	if m.FilterRate() != 1 {
+		t.Error("squashed load not removed from bloom filter")
+	}
+}
+
+func TestStoreAgeMonitor(t *testing.T) {
+	m := NewStoreAgeMonitor()
+	if m.Name() != "sq_filter" {
+		t.Errorf("name = %q", m.Name())
+	}
+	st := newStore(10, 0x100, 8)
+	m.StoreDispatch(st)
+	// Load older than the oldest in-flight store: could skip SQ search.
+	m.LoadIssue(newLoad(5, 0x200, 8))
+	// Load younger: must search.
+	m.LoadIssue(newLoad(15, 0x200, 8))
+	if m.FilterRate() != 0.5 {
+		t.Errorf("rate = %v, want 0.5", m.FilterRate())
+	}
+	// After the store commits, any load can skip.
+	m.StoreCommit(st)
+	m.LoadIssue(newLoad(20, 0x200, 8))
+	if got := m.FilterRate(); got < 0.66 || got > 0.67 {
+		t.Errorf("rate = %v, want 2/3", got)
+	}
+	s := stats.NewSet()
+	m.Report(s)
+	if s.Get("sq_filter_loads") != 3 {
+		t.Error("load count wrong")
+	}
+}
+
+func TestStoreAgeMonitorSquash(t *testing.T) {
+	m := NewStoreAgeMonitor()
+	m.StoreDispatch(newStore(10, 0x100, 8))
+	m.StoreDispatch(newStore(20, 0x100, 8))
+	m.Squash(15)
+	// Store age 20 squashed; a load at age 12 still sees store 10.
+	m.LoadIssue(newLoad(12, 0x0, 8))
+	if m.FilterRate() != 0 {
+		t.Error("load younger than surviving store counted as filterable")
+	}
+	m.Squash(5) // removes store 10 as well
+	m.LoadIssue(newLoad(12, 0x0, 8))
+	if m.FilterRate() != 0.5 {
+		t.Errorf("rate = %v, want 0.5", m.FilterRate())
+	}
+}
+
+func TestStoreAgeMonitorWrongPathExcluded(t *testing.T) {
+	m := NewStoreAgeMonitor()
+	wp := newLoad(5, 0x0, 8)
+	wp.WrongPath = true
+	m.LoadIssue(wp)
+	if m.loads != 0 {
+		t.Error("wrong-path load counted")
+	}
+	if m.FilterRate() != 0 {
+		t.Error("empty rate should be 0")
+	}
+}
+
+// BaseMonitor must satisfy the interface and do nothing.
+func TestBaseMonitor(t *testing.T) {
+	var m Monitor = BaseMonitor{}
+	m.LoadIssue(nil)
+	m.StoreDispatch(nil)
+	m.StoreResolve(nil)
+	m.StoreCommit(nil)
+	m.Squash(0)
+	m.Recover(0)
+	s := stats.NewSet()
+	m.Report(s)
+	if len(s.Names()) != 0 {
+		t.Error("base monitor reported stats")
+	}
+	if m.Name() != "base" {
+		t.Error("base name wrong")
+	}
+}

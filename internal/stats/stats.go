@@ -1,0 +1,309 @@
+// Package stats provides counters, histograms, and aggregation helpers for
+// simulation results, plus simple ASCII renderers for the experiment tables.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Set is an ordered collection of named floating-point counters. The zero
+// value is not ready for use; call NewSet.
+type Set struct {
+	values map[string]float64
+	order  []string
+}
+
+// NewSet returns an empty counter set.
+func NewSet() *Set {
+	return &Set{values: make(map[string]float64)}
+}
+
+// Add increases the named counter by v, creating it if absent.
+func (s *Set) Add(name string, v float64) {
+	if _, ok := s.values[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.values[name] += v
+}
+
+// Inc increments the named counter by one.
+func (s *Set) Inc(name string) { s.Add(name, 1) }
+
+// Put sets the named counter to v, replacing any previous value.
+func (s *Set) Put(name string, v float64) {
+	if _, ok := s.values[name]; !ok {
+		s.order = append(s.order, name)
+	}
+	s.values[name] = v
+}
+
+// Get returns the value of the named counter, or zero if absent.
+func (s *Set) Get(name string) float64 { return s.values[name] }
+
+// Has reports whether the named counter exists.
+func (s *Set) Has(name string) bool {
+	_, ok := s.values[name]
+	return ok
+}
+
+// Ratio returns Get(num)/Get(den), or zero when the denominator is zero.
+func (s *Set) Ratio(num, den string) float64 {
+	d := s.values[den]
+	if d == 0 {
+		return 0
+	}
+	return s.values[num] / d
+}
+
+// PerMillion returns the rate of counter num per million units of den.
+func (s *Set) PerMillion(num, den string) float64 {
+	return s.Ratio(num, den) * 1e6
+}
+
+// Names returns the counter names in insertion order.
+func (s *Set) Names() []string {
+	out := make([]string, len(s.order))
+	copy(out, s.order)
+	return out
+}
+
+// Merge adds every counter of other into s.
+func (s *Set) Merge(other *Set) {
+	for _, name := range other.order {
+		s.Add(name, other.values[name])
+	}
+}
+
+// String renders the set as "name value" lines in insertion order.
+func (s *Set) String() string {
+	var b strings.Builder
+	for _, name := range s.order {
+		fmt.Fprintf(&b, "%-40s %g\n", name, s.values[name])
+	}
+	return b.String()
+}
+
+// Summary aggregates a sample of values: mean, min, max, and count.
+type Summary struct {
+	N   int
+	Sum float64
+	Min float64
+	Max float64
+}
+
+// Observe folds v into the summary.
+func (m *Summary) Observe(v float64) {
+	if m.N == 0 || v < m.Min {
+		m.Min = v
+	}
+	if m.N == 0 || v > m.Max {
+		m.Max = v
+	}
+	m.N++
+	m.Sum += v
+}
+
+// Mean returns the arithmetic mean of observed values, or zero when empty.
+func (m Summary) Mean() float64 {
+	if m.N == 0 {
+		return 0
+	}
+	return m.Sum / float64(m.N)
+}
+
+// Range returns max - min.
+func (m Summary) Range() float64 { return m.Max - m.Min }
+
+// String renders "mean [min, max] (n)".
+func (m Summary) String() string {
+	return fmt.Sprintf("%.3f [%.3f, %.3f] (n=%d)", m.Mean(), m.Min, m.Max, m.N)
+}
+
+// Summarize builds a Summary from a slice of values.
+func Summarize(values []float64) Summary {
+	var m Summary
+	for _, v := range values {
+		m.Observe(v)
+	}
+	return m
+}
+
+// GeoMean returns the geometric mean of strictly positive values; zero or
+// negative entries are skipped. Returns zero for an empty input.
+func GeoMean(values []float64) float64 {
+	var sum float64
+	var n int
+	for _, v := range values {
+		if v > 0 {
+			sum += math.Log(v)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return math.Exp(sum / float64(n))
+}
+
+// Histogram counts integer-valued observations in fixed-width buckets plus
+// an overflow bucket, and tracks the exact running mean.
+type Histogram struct {
+	BucketWidth int
+	buckets     []uint64
+	overflow    uint64
+	count       uint64
+	sum         float64
+}
+
+// NewHistogram returns a histogram with nBuckets buckets of the given width.
+func NewHistogram(bucketWidth, nBuckets int) *Histogram {
+	if bucketWidth < 1 {
+		bucketWidth = 1
+	}
+	if nBuckets < 1 {
+		nBuckets = 1
+	}
+	return &Histogram{BucketWidth: bucketWidth, buckets: make([]uint64, nBuckets)}
+}
+
+// Observe records one observation of value v (negative values clamp to 0).
+func (h *Histogram) Observe(v int) {
+	if v < 0 {
+		v = 0
+	}
+	h.count++
+	h.sum += float64(v)
+	idx := v / h.BucketWidth
+	if idx >= len(h.buckets) {
+		h.overflow++
+		return
+	}
+	h.buckets[idx]++
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 { return h.count }
+
+// Mean returns the exact mean of all observations.
+func (h *Histogram) Mean() float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / float64(h.count)
+}
+
+// Bucket returns the count of observations in bucket i.
+func (h *Histogram) Bucket(i int) uint64 {
+	if i < 0 || i >= len(h.buckets) {
+		return 0
+	}
+	return h.buckets[i]
+}
+
+// Overflow returns the count of observations beyond the last bucket.
+func (h *Histogram) Overflow() uint64 { return h.overflow }
+
+// Fraction returns the fraction of observations falling in bucket i.
+func (h *Histogram) Fraction(i int) float64 {
+	if h.count == 0 {
+		return 0
+	}
+	return float64(h.Bucket(i)) / float64(h.count)
+}
+
+// Table is a simple column-aligned ASCII table builder used by the
+// experiment harness to print paper-style tables.
+type Table struct {
+	Title   string
+	headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, headers: headers}
+}
+
+// AddRow appends a row; cells render with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = formatFloat(v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprintf("%v", c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+func formatFloat(v float64) string {
+	switch {
+	case v == math.Trunc(v) && math.Abs(v) < 1e9:
+		return fmt.Sprintf("%.0f", v)
+	case math.Abs(v) >= 100:
+		return fmt.Sprintf("%.1f", v)
+	default:
+		return fmt.Sprintf("%.3f", v)
+	}
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.headers))
+	for i, h := range t.headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], cell)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.headers)
+	total := len(widths) - 1
+	if total < 0 {
+		total = 0
+	}
+	for _, w := range widths {
+		total += w + 2
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// SortedKeys returns the keys of a string-keyed map in sorted order; handy
+// for deterministic iteration in reports.
+func SortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

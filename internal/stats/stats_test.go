@@ -1,0 +1,254 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSetBasics(t *testing.T) {
+	s := NewSet()
+	s.Inc("a")
+	s.Inc("a")
+	s.Add("b", 3.5)
+	if got := s.Get("a"); got != 2 {
+		t.Errorf("a = %v, want 2", got)
+	}
+	if got := s.Get("b"); got != 3.5 {
+		t.Errorf("b = %v, want 3.5", got)
+	}
+	if got := s.Get("missing"); got != 0 {
+		t.Errorf("missing = %v, want 0", got)
+	}
+	if !s.Has("a") || s.Has("missing") {
+		t.Error("Has wrong")
+	}
+	s.Put("a", 10)
+	if got := s.Get("a"); got != 10 {
+		t.Errorf("after Put a = %v, want 10", got)
+	}
+}
+
+func TestSetOrder(t *testing.T) {
+	s := NewSet()
+	s.Inc("z")
+	s.Inc("a")
+	s.Inc("m")
+	s.Inc("z") // repeat must not duplicate
+	names := s.Names()
+	want := []string{"z", "a", "m"}
+	if len(names) != len(want) {
+		t.Fatalf("names = %v, want %v", names, want)
+	}
+	for i := range want {
+		if names[i] != want[i] {
+			t.Fatalf("names = %v, want %v", names, want)
+		}
+	}
+}
+
+func TestSetRatio(t *testing.T) {
+	s := NewSet()
+	s.Add("num", 30)
+	s.Add("den", 60)
+	if got := s.Ratio("num", "den"); got != 0.5 {
+		t.Errorf("ratio = %v, want 0.5", got)
+	}
+	if got := s.Ratio("num", "zero"); got != 0 {
+		t.Errorf("ratio with zero denominator = %v, want 0", got)
+	}
+	if got := s.PerMillion("num", "den"); got != 0.5e6 {
+		t.Errorf("per-million = %v", got)
+	}
+}
+
+func TestSetMerge(t *testing.T) {
+	a := NewSet()
+	a.Add("x", 1)
+	b := NewSet()
+	b.Add("x", 2)
+	b.Add("y", 5)
+	a.Merge(b)
+	if a.Get("x") != 3 || a.Get("y") != 5 {
+		t.Errorf("merge wrong: x=%v y=%v", a.Get("x"), a.Get("y"))
+	}
+}
+
+func TestSetString(t *testing.T) {
+	s := NewSet()
+	s.Add("cycles", 100)
+	out := s.String()
+	if !strings.Contains(out, "cycles") || !strings.Contains(out, "100") {
+		t.Errorf("String output missing content: %q", out)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	var m Summary
+	if m.Mean() != 0 {
+		t.Error("empty summary mean should be 0")
+	}
+	for _, v := range []float64{3, 1, 4, 1, 5} {
+		m.Observe(v)
+	}
+	if m.N != 5 {
+		t.Errorf("N = %d", m.N)
+	}
+	if m.Min != 1 || m.Max != 5 {
+		t.Errorf("min/max = %v/%v", m.Min, m.Max)
+	}
+	if got := m.Mean(); math.Abs(got-2.8) > 1e-12 {
+		t.Errorf("mean = %v, want 2.8", got)
+	}
+	if m.Range() != 4 {
+		t.Errorf("range = %v", m.Range())
+	}
+	if m.String() == "" {
+		t.Error("empty String")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	m := Summarize([]float64{2, 4})
+	if m.Mean() != 3 || m.N != 2 {
+		t.Errorf("summarize wrong: %+v", m)
+	}
+}
+
+func TestGeoMean(t *testing.T) {
+	if got := GeoMean([]float64{2, 8}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("geomean(2,8) = %v, want 4", got)
+	}
+	if got := GeoMean(nil); got != 0 {
+		t.Errorf("geomean(nil) = %v", got)
+	}
+	if got := GeoMean([]float64{-1, 0}); got != 0 {
+		t.Errorf("geomean of nonpositive = %v", got)
+	}
+	// Nonpositive values are skipped, not poisoning the result.
+	if got := GeoMean([]float64{4, 0}); math.Abs(got-4) > 1e-9 {
+		t.Errorf("geomean(4,0) = %v, want 4", got)
+	}
+}
+
+// Property: summary mean lies within [min, max].
+func TestSummaryMeanBoundedProperty(t *testing.T) {
+	f := func(vals []float64) bool {
+		var m Summary
+		for _, v := range vals {
+			// Restrict to a range where the running sum cannot overflow;
+			// simulator statistics live far below this bound.
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e300 {
+				continue
+			}
+			m.Observe(v / 1e10)
+		}
+		if m.N == 0 {
+			return true
+		}
+		eps := 1e-9 * (math.Abs(m.Min) + math.Abs(m.Max) + 1)
+		return m.Mean() >= m.Min-eps && m.Mean() <= m.Max+eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(10, 4)
+	for _, v := range []int{0, 5, 15, 39, 40, 1000, -3} {
+		h.Observe(v)
+	}
+	if h.Count() != 7 {
+		t.Errorf("count = %d", h.Count())
+	}
+	if h.Bucket(0) != 3 { // 0, 5, and clamped -3
+		t.Errorf("bucket0 = %d, want 3", h.Bucket(0))
+	}
+	if h.Bucket(1) != 1 {
+		t.Errorf("bucket1 = %d, want 1", h.Bucket(1))
+	}
+	if h.Bucket(3) != 1 {
+		t.Errorf("bucket3 = %d, want 1", h.Bucket(3))
+	}
+	if h.Overflow() != 2 { // 40 and 1000
+		t.Errorf("overflow = %d, want 2", h.Overflow())
+	}
+	if h.Bucket(-1) != 0 || h.Bucket(99) != 0 {
+		t.Error("out-of-range buckets should be 0")
+	}
+	wantMean := float64(0+5+15+39+40+1000+0) / 7
+	if got := h.Mean(); math.Abs(got-wantMean) > 1e-9 {
+		t.Errorf("mean = %v, want %v", got, wantMean)
+	}
+	if got := h.Fraction(0); math.Abs(got-3.0/7) > 1e-9 {
+		t.Errorf("fraction = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(0, 0) // degenerate parameters clamp to 1
+	if h.Mean() != 0 || h.Fraction(0) != 0 {
+		t.Error("empty histogram stats should be 0")
+	}
+	h.Observe(0)
+	if h.Bucket(0) != 1 {
+		t.Error("clamped histogram should still accept observations")
+	}
+}
+
+// Property: histogram bucket counts plus overflow always equal total count.
+func TestHistogramConservationProperty(t *testing.T) {
+	f := func(vals []uint16, width, n uint8) bool {
+		nb := int(n % 20)
+		h := NewHistogram(int(width%50), nb)
+		for _, v := range vals {
+			h.Observe(int(v))
+		}
+		if nb < 1 {
+			nb = 1 // histogram clamps to at least one bucket
+		}
+		var sum uint64
+		for i := 0; i < nb; i++ {
+			sum += h.Bucket(i)
+		}
+		return sum+h.Overflow() == h.Count()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTable(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", 1.0)
+	tb.AddRow("beta", 123.456)
+	tb.AddRow("gamma", 0.25)
+	out := tb.String()
+	for _, want := range []string{"Demo", "name", "alpha", "beta", "123.5", "0.250", "1"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTableNoTitle(t *testing.T) {
+	tb := NewTable("", "a")
+	tb.AddRow(42)
+	out := tb.String()
+	if strings.HasPrefix(out, "\n") {
+		t.Error("no-title table should not start with newline")
+	}
+	if !strings.Contains(out, "42") {
+		t.Error("missing cell")
+	}
+}
+
+func TestSortedKeys(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	keys := SortedKeys(m)
+	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
+		t.Errorf("sorted keys = %v", keys)
+	}
+}

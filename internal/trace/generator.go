@@ -1,0 +1,738 @@
+package trace
+
+import (
+	"math/rand"
+
+	"dmdc/internal/isa"
+)
+
+// Memory layout of the synthetic address space.
+const (
+	codeBase  = 0x0040_0000
+	dataBase  = 0x1000_0000
+	stackBase = 0x7fff_0000
+	stackSize = 1024 // hot-region bytes
+)
+
+type branchKind uint8
+
+const (
+	brBiased branchKind = iota
+	brLoop
+	brPattern
+	brRandom
+)
+
+// branchSite is one static branch with its behavioral pattern machine.
+type branchSite struct {
+	kind     branchKind
+	bias     bool    // direction for biased sites
+	loopLen  int     // trip count for loop sites
+	pattern  []bool  // repeating sequence for pattern sites
+	randBias float64 // P(taken) for data-dependent sites
+	// dynamic state (committed path only)
+	counter int
+}
+
+// direction advances the site's pattern machine and returns the outcome.
+func (s *branchSite) direction(rng *rand.Rand) bool {
+	switch s.kind {
+	case brBiased:
+		// Rare inversions keep the predictor's counters saturated but honest.
+		if rng.Float64() < 0.03 {
+			return !s.bias
+		}
+		return s.bias
+	case brLoop:
+		s.counter++
+		if s.counter >= s.loopLen {
+			s.counter = 0
+			return false // loop exit: fall through
+		}
+		return true // back edge taken
+	case brPattern:
+		out := s.pattern[s.counter]
+		s.counter = (s.counter + 1) % len(s.pattern)
+		return out
+	default:
+		return rng.Float64() < s.randBias
+	}
+}
+
+// guess returns a plausible direction without mutating state; used for
+// wrong-path streams so they cannot perturb the committed-path machines.
+func (s *branchSite) guess(rng *rand.Rand) bool {
+	switch s.kind {
+	case brBiased:
+		return s.bias
+	case brLoop:
+		return true
+	case brPattern:
+		return s.pattern[s.counter]
+	default:
+		return rng.Float64() < s.randBias
+	}
+}
+
+// block is one basic block of the static CFG: fixed op classes per slot,
+// a terminating branch site, and its two successors.
+type block struct {
+	pc       uint64 // address of the first instruction
+	ops      []isa.Op
+	sizes    []uint8 // access size per memory slot (0 for non-memory)
+	site     branchSite
+	taken    int // successor block when the branch is taken
+	fallthru int
+}
+
+func (b *block) branchPC() uint64 { return b.pc + uint64(len(b.ops))*4 }
+
+// Generator produces the committed-path instruction stream for a profile.
+// It is deterministic: two generators built from the same profile yield
+// identical streams. Not safe for concurrent use.
+type Generator struct {
+	prof      Profile
+	blocks    []block
+	pcToBlock map[uint64]int
+
+	rng  *rand.Rand
+	seq  uint64
+	cur  int // current block
+	slot int
+
+	// Register dataflow state.
+	destRing     [64]int16 // recent destination registers, newest last
+	destRingLen  int
+	aluRing      [16]int16 // recent shallow integer-ALU destinations
+	aluRingLen   int
+	loadRing     [8]int16 // recent load destinations (for dependent store addresses)
+	loadRingLen  int
+	fpRing       [32]int16
+	fpRingLen    int
+	nextIntDest  int16
+	nextFPDest   int16
+	lastLoadDest int16
+	baseRegTimer int
+
+	// Address state.
+	regionBytes  uint64
+	seqPtrs      []uint64
+	seqStrides   []uint64
+	lastStream   int
+	storeRing    []memRef // recent committed-path store addresses
+	storeHead    int
+	lastLoadAddr uint64
+}
+
+type memRef struct {
+	addr uint64
+	size uint8
+	src1 int16 // the store's address operand register
+}
+
+// NewGenerator builds the static CFG for the profile and returns a
+// generator positioned at the first block. It panics on an invalid
+// profile: profiles are static experiment inputs, so this is a programming
+// error, not a runtime condition.
+func NewGenerator(p Profile) *Generator {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	g := &Generator{
+		prof:         p,
+		rng:          rand.New(rand.NewSource(p.Seed)),
+		regionBytes:  uint64(p.WorkingSetKB) * 1024,
+		nextIntDest:  8,
+		nextFPDest:   isa.NumIntRegs + 8,
+		lastLoadDest: 8,
+		pcToBlock:    make(map[uint64]int),
+		storeRing:    make([]memRef, 64),
+	}
+	g.buildCFG()
+	// Sequential streams: a handful of array walks at quad-word or
+	// cache-line stride, spread across the region.
+	nStreams := 6
+	for i := 0; i < nStreams; i++ {
+		g.seqPtrs = append(g.seqPtrs, dataBase+uint64(g.rng.Int63n(int64(g.regionBytes))))
+		stride := uint64(8)
+		if i%3 == 2 {
+			stride = 64
+		}
+		g.seqStrides = append(g.seqStrides, stride)
+	}
+	for i := range g.storeRing {
+		g.storeRing[i] = memRef{addr: dataBase, size: 8, src1: 1}
+	}
+	return g
+}
+
+// buildCFG lays out the static blocks, assigns per-slot op classes from the
+// mix, and wires branch sites and successors.
+func (g *Generator) buildCFG() {
+	p := g.prof
+	rng := rand.New(rand.NewSource(p.Seed ^ 0x5eed_b10c))
+	g.blocks = make([]block, p.Blocks)
+	pc := uint64(codeBase)
+	for i := range g.blocks {
+		n := p.BlockMin + rng.Intn(p.BlockMax-p.BlockMin+1)
+		b := &g.blocks[i]
+		b.pc = pc
+		b.ops = make([]isa.Op, n-1) // last slot is the branch
+		b.sizes = make([]uint8, n-1)
+		for s := range b.ops {
+			b.ops[s] = g.sampleOpClass(rng)
+			if b.ops[s].IsMem() {
+				b.sizes[s] = g.sampleSize(rng)
+			}
+		}
+		b.site = g.sampleBranchSite(rng)
+		pc += uint64(n) * 4
+	}
+	// Successors: fall-through to the next block; taken target is a jump to
+	// a random block (biased to nearby, loop sites target themselves to
+	// model back edges).
+	for i := range g.blocks {
+		b := &g.blocks[i]
+		b.fallthru = (i + 1) % len(g.blocks)
+		if b.site.kind == brLoop {
+			b.taken = i // tight loop back edge
+		} else {
+			// Mostly short forward/backward hops, occasionally far.
+			hop := rng.Intn(16) - 8
+			if rng.Intn(8) == 0 {
+				hop = rng.Intn(len(g.blocks))
+			}
+			t := (i + hop + len(g.blocks)) % len(g.blocks)
+			if t == b.fallthru {
+				t = (t + 1) % len(g.blocks)
+			}
+			b.taken = t
+		}
+		g.pcToBlock[b.branchPC()] = i
+	}
+}
+
+func (g *Generator) sampleOpClass(rng *rand.Rand) isa.Op {
+	p := g.prof
+	r := rng.Float64()
+	switch {
+	case r < p.LoadFrac:
+		return isa.OpLoad
+	case r < p.LoadFrac+p.StoreFrac:
+		return isa.OpStore
+	}
+	// Compute op.
+	fp := rng.Float64() < p.FPFrac
+	long := rng.Float64() < p.LongLatFrac
+	switch {
+	case fp && long:
+		if rng.Intn(4) == 0 {
+			return isa.OpFDiv
+		}
+		return isa.OpFMul
+	case fp:
+		return isa.OpFAlu
+	case long:
+		if rng.Intn(6) == 0 {
+			return isa.OpIDiv
+		}
+		return isa.OpIMul
+	default:
+		return isa.OpIAlu
+	}
+}
+
+func (g *Generator) sampleSize(rng *rand.Rand) uint8 {
+	w := g.prof.SizeW
+	total := w[0] + w[1] + w[2] + w[3]
+	r := rng.Float64() * total
+	switch {
+	case r < w[0]:
+		return 1
+	case r < w[0]+w[1]:
+		return 2
+	case r < w[0]+w[1]+w[2]:
+		return 4
+	default:
+		return 8
+	}
+}
+
+func (g *Generator) sampleBranchSite(rng *rand.Rand) branchSite {
+	p := g.prof.Branch
+	r := rng.Float64()
+	switch {
+	case r < p.BiasedFrac:
+		return branchSite{kind: brBiased, bias: rng.Intn(2) == 0}
+	case r < p.BiasedFrac+p.LoopFrac:
+		span := p.LoopMax - p.LoopMin + 1
+		return branchSite{kind: brLoop, loopLen: p.LoopMin + rng.Intn(span)}
+	case r < p.BiasedFrac+p.LoopFrac+p.PatternFrac:
+		n := 3 + rng.Intn(6)
+		pat := make([]bool, n)
+		for i := range pat {
+			pat[i] = rng.Intn(2) == 0
+		}
+		return branchSite{kind: brPattern, pattern: pat}
+	default:
+		return branchSite{kind: brRandom, randBias: p.RandBias}
+	}
+}
+
+// Next returns the next committed-path instruction.
+func (g *Generator) Next() isa.Inst {
+	b := &g.blocks[g.cur]
+	if g.slot >= len(b.ops) {
+		// Branch slot.
+		taken := b.site.direction(g.rng)
+		in := isa.Inst{
+			Seq:    g.seq,
+			PC:     b.branchPC(),
+			Op:     isa.OpBranch,
+			Dest:   isa.RegNone,
+			Src1:   g.recentIntReg(2.0),
+			Src2:   isa.RegNone,
+			Taken:  taken,
+			Target: g.blocks[b.taken].pc,
+		}
+		g.seq++
+		if taken {
+			g.cur = b.taken
+		} else {
+			g.cur = b.fallthru
+		}
+		g.slot = 0
+		return in
+	}
+	op := b.ops[g.slot]
+	pc := b.pc + uint64(g.slot)*4
+	size := b.sizes[g.slot]
+	g.slot++
+	in := g.fillDynamic(op, pc, size, g.rng, true)
+	in.Seq = g.seq
+	g.seq++
+	return in
+}
+
+// fillDynamic populates registers and addresses for one instruction.
+// committed selects whether generator state (rings, stream pointers) is
+// updated; wrong-path streams pass false.
+func (g *Generator) fillDynamic(op isa.Op, pc uint64, size uint8, rng *rand.Rand, committed bool) isa.Inst {
+	in := isa.Inst{PC: pc, Op: op, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, Size: size}
+	switch op {
+	case isa.OpLoad:
+		var aliased bool
+		var aliasSrc int16
+		in.Addr, in.Size, aliased, aliasSrc = g.loadAddr(size, rng, committed)
+		switch {
+		case aliased && rng.Float64() < 0.0005:
+			// A tiny fraction of re-reads compute their address
+			// independently and can race ahead of the store — the source
+			// of the paper's "few per million" genuine violations.
+			in.Src1 = int16(1 + rng.Intn(3))
+		case aliased:
+			// A re-read of freshly written data reuses the store's address
+			// register, so in the common case it cannot issue before the
+			// store resolves.
+			in.Src1 = aliasSrc
+		default:
+			in.Src1 = g.addrReg(rng, true)
+		}
+		in.Dest = g.allocDest(false, rng, committed)
+		if committed {
+			g.lastLoadDest = in.Dest
+			g.lastLoadAddr = in.Addr
+			g.loadRing[g.loadRingLen%len(g.loadRing)] = in.Dest
+			g.loadRingLen++
+		}
+	case isa.OpStore:
+		in.Addr = g.storeAddr(size, rng, committed)
+		in.Src1 = g.addrReg(rng, false)
+		in.Src2 = g.recentAnyReg(rng)
+		if committed {
+			g.pushStore(in.Addr, size, in.Src1)
+		}
+	case isa.OpBranch:
+		in.Src1 = g.recentIntReg(2.0)
+	default:
+		fp := op.IsFP()
+		in.Dest = g.allocDest(fp, rng, committed)
+		shallow := op == isa.OpIAlu && rng.Float64() < 0.45
+		if shallow {
+			// Address arithmetic: induction updates and base+offset
+			// computes. Half chain on the previous address compute (i =
+			// i+1 style serial updates), bounding chain depth around two,
+			// so stores hanging off them resolve a few cycles after
+			// dispatch. Only these feed the address ring: real address
+			// chains do not hang off cache-missing data computation.
+			if g.aluRingLen > 0 && rng.Float64() < 0.5 {
+				in.Src1 = g.aluRing[(g.aluRingLen-1)%len(g.aluRing)]
+			} else {
+				in.Src1 = int16(1 + rng.Intn(3))
+			}
+			in.Src2 = int16(1 + rng.Intn(3))
+		} else {
+			in.Src1 = g.recentReg(fp, rng)
+			in.Src2 = g.recentReg(fp, rng)
+		}
+		if committed && shallow {
+			g.aluRing[g.aluRingLen%len(g.aluRing)] = in.Dest
+			g.aluRingLen++
+		}
+	}
+	return in
+}
+
+// addrReg picks the address operand register. Loads mostly use stale base
+// pointers (ready at dispatch) so they can issue early; pointer-chasing
+// loads depend on the previous load. Stores mostly use a short integer-ALU
+// chain (an address computation a few instructions back), so they resolve
+// a handful of cycles after dispatch — slightly behind the loads racing
+// past them, which is exactly the partial ordering YLA filtering exploits.
+// Store addresses never hang off load-fed chains: that heavy tail would
+// open enormous checking windows the paper's workloads do not show.
+func (g *Generator) addrReg(rng *rand.Rand, isLoad bool) int16 {
+	if isLoad {
+		if rng.Float64() < g.prof.PointerChase {
+			return g.lastLoadDest
+		}
+		if rng.Float64() < g.prof.AddrReadyFrac {
+			return int16(1 + rng.Intn(3)) // base registers r1..r3
+		}
+		return g.recentALUReg(rng, 1.2)
+	}
+	if rng.Float64() < g.prof.StoreAddrReadyFrac {
+		return int16(1 + rng.Intn(3))
+	}
+	// Late store addresses split two ways: most follow a short address-
+	// arithmetic chain (a couple of cycles of lag — enough for a handful
+	// of younger loads to slip past, which address banking then filters),
+	// and a minority are pointer-dependent (st [ptr->field]) — known only
+	// after a nearby load completes, with a long tail on cache misses.
+	if rng.Float64() >= g.prof.StorePtrFrac {
+		return g.recentALUReg(rng, 1.2)
+	}
+	return g.recentLoadReg(rng)
+}
+
+// recentLoadReg returns the destination of a recent load.
+func (g *Generator) recentLoadReg(rng *rand.Rand) int16 {
+	if g.loadRingLen == 0 {
+		return 1
+	}
+	d := geomDist(rng, 2.0)
+	if d > g.loadRingLen {
+		d = g.loadRingLen
+	}
+	if d > len(g.loadRing) {
+		d = len(g.loadRing)
+	}
+	return g.loadRing[(g.loadRingLen-d)%len(g.loadRing)]
+}
+
+// recentALUReg returns the destination of an integer ALU operation about
+// `mean` ALU ops back; falls back to a base register before any ALU op
+// has been generated.
+func (g *Generator) recentALUReg(rng *rand.Rand, mean float64) int16 {
+	if g.aluRingLen == 0 {
+		return 1
+	}
+	d := geomDist(rng, mean)
+	if d > g.aluRingLen {
+		d = g.aluRingLen
+	}
+	if d > len(g.aluRing) {
+		d = len(g.aluRing)
+	}
+	return g.aluRing[(g.aluRingLen-d)%len(g.aluRing)]
+}
+
+// allocDest cycles through the destination register pools, periodically
+// rewriting a base register to keep its producer fresh in the stream.
+func (g *Generator) allocDest(fp bool, rng *rand.Rand, committed bool) int16 {
+	if !fp && committed {
+		g.baseRegTimer++
+		if g.baseRegTimer >= 251 { // prime so it drifts across blocks
+			g.baseRegTimer = 0
+			d := int16(1 + rng.Intn(3))
+			g.pushDest(d, false)
+			return d
+		}
+	}
+	var d int16
+	if fp {
+		d = g.nextFPDest
+		if committed {
+			g.nextFPDest++
+			if g.nextFPDest >= isa.NumRegs {
+				g.nextFPDest = isa.NumIntRegs + 8
+			}
+		}
+	} else {
+		d = g.nextIntDest
+		if committed {
+			g.nextIntDest++
+			if g.nextIntDest >= isa.NumIntRegs {
+				g.nextIntDest = 8
+			}
+		}
+	}
+	if committed {
+		g.pushDest(d, fp)
+	}
+	return d
+}
+
+func (g *Generator) pushDest(d int16, fp bool) {
+	if fp {
+		g.fpRing[g.fpRingLen%len(g.fpRing)] = d
+		g.fpRingLen++
+		return
+	}
+	g.destRing[g.destRingLen%len(g.destRing)] = d
+	g.destRingLen++
+}
+
+// geomDist draws a geometric dependence distance with the given mean.
+func geomDist(rng *rand.Rand, mean float64) int {
+	if mean <= 1 {
+		return 1
+	}
+	p := 1.0 / mean
+	d := 1
+	for rng.Float64() > p && d < 48 {
+		d++
+	}
+	return d
+}
+
+// recentIntReg returns an integer register written about `mean`
+// instructions ago.
+func (g *Generator) recentIntReg(mean float64) int16 {
+	n := g.destRingLen
+	if n == 0 {
+		return 1
+	}
+	d := geomDist(g.rng, mean)
+	if d > n {
+		d = n
+	}
+	if d > len(g.destRing) {
+		d = len(g.destRing)
+	}
+	return g.destRing[(n-d)%len(g.destRing)]
+}
+
+func (g *Generator) recentReg(fp bool, rng *rand.Rand) int16 {
+	if fp && g.fpRingLen > 0 {
+		d := geomDist(rng, g.prof.DepDistMean)
+		if d > g.fpRingLen {
+			d = g.fpRingLen
+		}
+		if d > len(g.fpRing) {
+			d = len(g.fpRing)
+		}
+		return g.fpRing[(g.fpRingLen-d)%len(g.fpRing)]
+	}
+	return g.recentIntReg(g.prof.DepDistMean)
+}
+
+func (g *Generator) recentAnyReg(rng *rand.Rand) int16 {
+	if g.prof.FPFrac > 0 && rng.Float64() < g.prof.FPFrac && g.fpRingLen > 0 {
+		return g.recentReg(true, rng)
+	}
+	return g.recentIntReg(g.prof.DepDistMean)
+}
+
+func (g *Generator) pushStore(addr uint64, size uint8, src1 int16) {
+	g.storeRing[g.storeHead] = memRef{addr: addr, size: size, src1: src1}
+	g.storeHead = (g.storeHead + 1) % len(g.storeRing)
+}
+
+// storeBack returns the store reference `back` stores ago.
+func (g *Generator) storeBack(back int) memRef {
+	if back > len(g.storeRing) {
+		back = len(g.storeRing)
+	}
+	idx := (g.storeHead - back + len(g.storeRing)) % len(g.storeRing)
+	return g.storeRing[idx]
+}
+
+func align(addr uint64, size uint8) uint64 { return addr - addr%uint64(size) }
+
+// loadAddr draws a load address from the profile's mixture of streams. It
+// returns the (possibly narrowed) access size, whether the load aliases a
+// recent store, and that store's address operand register.
+func (g *Generator) loadAddr(size uint8, rng *rand.Rand, committed bool) (uint64, uint8, bool, int16) {
+	p := g.prof
+	// Aliasing with a recent store takes priority: this is what creates
+	// forwarding and the rare genuine order violations.
+	if rng.Float64() < p.AliasRate {
+		back := 1 + rng.Intn(p.AliasWindow)
+		ref := g.storeBack(back)
+		src := ref.src1
+		r := rng.Float64()
+		if r < 0.85 || ref.size == 8 {
+			// Exact or contained re-read: the SQ can forward this.
+			if size > ref.size {
+				size = ref.size
+			}
+			return align(ref.addr, size), size, true, src
+		}
+		// Partial match: the load is wider than the store and covers it,
+		// so the SQ cannot supply all bytes ("partial memory matches").
+		return align(ref.addr, 8), 8, true, src
+	}
+	if rng.Float64() < p.PointerChase && g.lastLoadAddr != 0 {
+		// Dependent address: a scramble of the previous load's address,
+		// staying inside the working set.
+		h := g.lastLoadAddr*0x9e3779b97f4a7c15 + 0x2545f4914f6cdd1d
+		return align(dataBase+h%g.regionBytes, size), size, false, 0
+	}
+	return g.commonAddr(size, rng, committed), size, false, 0
+}
+
+func (g *Generator) storeAddr(size uint8, rng *rand.Rand, committed bool) uint64 {
+	return g.commonAddr(size, rng, committed)
+}
+
+// commonAddr draws from the sequential / stack / random mixture.
+// Sequential accesses are bursty: consecutive memory operations often walk
+// the same stream (a[i], a[i+1], ... within one loop iteration), so loads
+// frequently touch the cache line a just-dispatched store wrote — adjacent
+// quad words, same line. Quad-word-interleaved YLA banks tell these apart;
+// line-interleaved banks cannot, which is the paper's Figure 2 contrast.
+func (g *Generator) commonAddr(size uint8, rng *rand.Rand, committed bool) uint64 {
+	p := g.prof
+	r := rng.Float64()
+	switch {
+	case r < p.SeqFrac:
+		i := g.lastStream
+		if rng.Float64() >= 0.85 {
+			i = rng.Intn(len(g.seqPtrs))
+		}
+		a := g.seqPtrs[i]
+		if committed {
+			g.lastStream = i
+			g.seqPtrs[i] += g.seqStrides[i]
+			if g.seqPtrs[i] >= dataBase+g.regionBytes {
+				g.seqPtrs[i] = dataBase
+			}
+		}
+		return align(a, size)
+	case r < p.SeqFrac+p.StackFrac:
+		return align(stackBase+uint64(rng.Intn(stackSize)), size)
+	default:
+		return align(dataBase+uint64(rng.Int63n(int64(g.regionBytes))), size)
+	}
+}
+
+// Profile returns the generator's profile.
+func (g *Generator) Profile() Profile { return g.prof }
+
+// EntryPC returns the address of the program's first instruction.
+func (g *Generator) EntryPC() uint64 { return g.blocks[0].pc }
+
+// WrongStream yields plausible wrong-path instructions after a mispredicted
+// branch. It walks the real static CFG from the not-taken successor, so
+// wrong-path fetch touches realistic I-cache lines and issues loads with
+// realistic addresses — which is what corrupts YLA registers in the paper —
+// but it never mutates the committed-path generator state.
+type WrongStream struct {
+	g    *Generator
+	rng  *rand.Rand
+	cur  int
+	slot int
+	// Frozen copies of address state so wrong-path addresses resemble the
+	// committed path without perturbing it.
+}
+
+// WrongPath builds a wrong-path stream for the branch at branchPC. taken
+// is the (wrong) direction fetch is following; salt decorrelates repeated
+// episodes at the same branch. Returns nil if branchPC is unknown (the
+// caller then simply stalls fetch, as a real front end would on a BTB miss).
+func (g *Generator) WrongPath(branchPC uint64, taken bool, salt uint64) *WrongStream {
+	bi, ok := g.pcToBlock[branchPC]
+	if !ok {
+		return nil
+	}
+	b := &g.blocks[bi]
+	next := b.fallthru
+	if taken {
+		next = b.taken
+	}
+	return &WrongStream{
+		g:   g,
+		rng: rand.New(rand.NewSource(int64(branchPC) ^ int64(salt)*0x9e37 ^ g.prof.Seed)),
+		cur: next,
+	}
+}
+
+// Next returns the next wrong-path instruction. Branch direction fields on
+// wrong-path branches carry the pattern machine's best guess so the core's
+// predictor rarely "mispredicts" inside the wrong path (nested recoveries
+// are a second-order effect the simulator does not model).
+func (w *WrongStream) Next() isa.Inst {
+	b := &w.g.blocks[w.cur]
+	if w.slot >= len(b.ops) {
+		taken := b.site.guess(w.rng)
+		in := isa.Inst{
+			PC:     b.branchPC(),
+			Op:     isa.OpBranch,
+			Dest:   isa.RegNone,
+			Src1:   int16(8 + w.rng.Intn(8)),
+			Src2:   isa.RegNone,
+			Taken:  taken,
+			Target: w.g.blocks[b.taken].pc,
+		}
+		if taken {
+			w.cur = b.taken
+		} else {
+			w.cur = b.fallthru
+		}
+		w.slot = 0
+		return in
+	}
+	op := b.ops[w.slot]
+	pc := b.pc + uint64(w.slot)*4
+	size := b.sizes[w.slot]
+	w.slot++
+	// Wrong-path dynamic fields come from the stream's private RNG; address
+	// streams are sampled without advancing committed-path pointers.
+	in := isa.Inst{PC: pc, Op: op, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, Size: size}
+	switch op {
+	case isa.OpLoad, isa.OpStore:
+		in.Addr = w.g.wrongPathAddr(size, w.rng)
+		in.Src1 = int16(1 + w.rng.Intn(3))
+		if op == isa.OpLoad {
+			in.Dest = int16(8 + w.rng.Intn(24))
+		} else {
+			in.Src2 = int16(8 + w.rng.Intn(24))
+		}
+	default:
+		if op.IsFP() {
+			in.Dest = int16(isa.NumIntRegs + 8 + w.rng.Intn(24))
+		} else {
+			in.Dest = int16(8 + w.rng.Intn(24))
+		}
+		in.Src1 = int16(8 + w.rng.Intn(24))
+		in.Src2 = int16(8 + w.rng.Intn(24))
+	}
+	return in
+}
+
+// wrongPathAddr samples addresses from the same regions as the committed
+// path (streams are read, not advanced).
+func (g *Generator) wrongPathAddr(size uint8, rng *rand.Rand) uint64 {
+	p := g.prof
+	r := rng.Float64()
+	switch {
+	case r < p.SeqFrac:
+		i := rng.Intn(len(g.seqPtrs))
+		return align(g.seqPtrs[i]+g.seqStrides[i], size)
+	case r < p.SeqFrac+p.StackFrac:
+		return align(stackBase+uint64(rng.Intn(stackSize)), size)
+	default:
+		return align(dataBase+uint64(rng.Int63n(int64(g.regionBytes))), size)
+	}
+}

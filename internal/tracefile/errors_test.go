@@ -1,0 +1,90 @@
+package tracefile
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"dmdc/internal/core"
+	"dmdc/internal/isa"
+	"dmdc/internal/trace"
+)
+
+// failingWriter errors after n bytes, exercising Record's error paths.
+type failingWriter struct {
+	n       int
+	written int
+}
+
+func (w *failingWriter) Write(p []byte) (int, error) {
+	w.written += len(p)
+	if w.written > w.n {
+		return 0, errors.New("disk full")
+	}
+	return len(p), nil
+}
+
+func TestRecordWriterFailure(t *testing.T) {
+	// The failure may surface during writes or at the final flush; either
+	// way Record must report it.
+	err := RecordBenchmark(&failingWriter{n: 64}, "gzip", 10_000)
+	if err == nil {
+		t.Fatal("write failure not reported")
+	}
+}
+
+func TestReaderRejectsInvalidOp(t *testing.T) {
+	// Build a minimal valid header followed by a garbage op byte.
+	var buf bytes.Buffer
+	meta := core.WorkloadMeta{Name: "x", Class: trace.INT}
+	if err := Record(&buf, oneInstSource{}, meta, 0x400000, 1); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// The first instruction byte follows the header; corrupt it. Find it
+	// by re-encoding a zero-instruction trace and measuring header length.
+	var hdrOnly bytes.Buffer
+	if err := Record(&hdrOnly, oneInstSource{}, meta, 0x400000, 0); err != nil {
+		t.Fatal(err)
+	}
+	opOffset := hdrOnly.Len() // count differs by one varint byte at most
+	// Adjust: the count field differs (0 vs 1) but both encode to 1 byte.
+	data[opOffset] = 0xEE
+	if _, err := NewReader(bytes.NewReader(data)); err == nil {
+		t.Error("invalid op accepted")
+	}
+}
+
+func TestReaderRejectsMisalignedAccess(t *testing.T) {
+	var buf bytes.Buffer
+	meta := core.WorkloadMeta{Name: "x", Class: trace.INT}
+	src := &badAddrSource{}
+	if err := Record(&buf, src, meta, 0x400000, 1); err != nil {
+		t.Fatal(err)
+	}
+	// The recorded instruction is misaligned (addr 0x1001, size 8); the
+	// reader's validation must reject it.
+	if _, err := NewReader(bytes.NewReader(buf.Bytes())); err == nil {
+		t.Error("misaligned instruction accepted")
+	}
+}
+
+func TestReaderRejectsHugeName(t *testing.T) {
+	data := []byte(magic)
+	data = append(data, 0xFF, 0xFF, 0xFF, 0x7F) // uvarint ≈ 256M name length
+	if _, err := NewReader(bytes.NewReader(data)); err == nil {
+		t.Error("unreasonable name length accepted")
+	}
+}
+
+type oneInstSource struct{}
+
+func (oneInstSource) Next() isa.Inst {
+	return isa.Inst{Op: isa.OpIAlu, Dest: 8, Src1: 1, Src2: 2, PC: 0x400000}
+}
+
+type badAddrSource struct{}
+
+func (badAddrSource) Next() isa.Inst {
+	return isa.Inst{Op: isa.OpLoad, Dest: 8, Src1: 1, Src2: isa.RegNone, PC: 0x400000, Addr: 0x1001, Size: 8}
+}
