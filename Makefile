@@ -1,0 +1,41 @@
+# Tiered verification for the DMDC reproduction.
+#
+#   make build       compile everything
+#   make test        tier-1: full test suite (what CI gates on)
+#   make check       vet + race-enabled tests for the concurrent packages
+#                    (experiment runner, result cache) — keeps the
+#                    singleflight and worker-pool fixes fixed
+#   make bench       short benchmark pass
+#   make report      regenerate the full paper report with a warm cache
+
+GO ?= go
+CACHE_DIR ?= .dmdc-cache
+
+.PHONY: all build test check vet race bench report clean-cache
+
+all: build test check
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+# -short skips the slow paper-shape regressions (tier-1's job); the
+# singleflight/worker-pool/cache concurrency tests all run in short mode.
+race:
+	$(GO) test -race -short ./internal/experiments/... ./internal/resultcache/... ./internal/core/...
+
+check: vet race
+
+bench:
+	$(GO) test -bench . -benchtime 1x -run xxx ./...
+
+report:
+	$(GO) run ./cmd/experiments -cache-dir $(CACHE_DIR) -v -out report_full.txt
+
+clean-cache:
+	$(GO) run ./cmd/experiments -cache-dir $(CACHE_DIR) -cache-clear

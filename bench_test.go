@@ -20,10 +20,14 @@ const benchBudget = 50_000
 var benchSet = []string{"gzip", "gcc", "vortex", "swim", "art", "applu"}
 
 func newBenchSuite() *experiments.Suite {
-	return experiments.NewSuite(experiments.Options{
+	s, err := experiments.NewSuite(experiments.Options{
 		Insts:      benchBudget,
 		Benchmarks: benchSet,
 	})
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 // BenchmarkFigure2 regenerates the YLA filtering sweep (quad-word vs

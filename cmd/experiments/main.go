@@ -2,45 +2,75 @@
 // evaluation section and prints a consolidated report (optionally writing
 // it to a file).
 //
+// Deterministic simulation makes results exactly reproducible, so a
+// persistent cache (-cache-dir, or the DMDC_CACHE environment variable)
+// lets warm re-runs skip every simulation they have already done.
+//
 // Usage:
 //
 //	experiments                     # full suite, 1M insts per benchmark
 //	experiments -insts 200000       # quicker, noisier
 //	experiments -only figure4       # one artifact
 //	experiments -out report.txt -v
+//	experiments -cache-dir ~/.cache/dmdc -only figure4   # warm re-runs are instant
+//	experiments -cache-dir ~/.cache/dmdc -cache-clear
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 	"time"
 
 	"dmdc/internal/experiments"
+	"dmdc/internal/resultcache"
 )
 
 func main() {
 	var (
-		insts   = flag.Uint64("insts", 1_000_000, "instructions per benchmark")
-		par     = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
-		only    = flag.String("only", "", "single artifact: figure2, figure3, figure4, figure5, table2, table3, table4, table5, table6, yla, sqfilter, safeloads, queue, tablesweep, ylasweep, sqfilter-ext, clamp, extensions, relatedwork, detail, verification")
-		out     = flag.String("out", "", "also write the report to this file")
-		verbose = flag.Bool("v", false, "print per-run progress")
-		benches = flag.String("benchmarks", "", "comma-separated benchmark subset")
-		csvKey  = flag.String("csv", "", "dump one run key's raw results as CSV to stdout (see -csvkeys)")
-		csvKeys = flag.Bool("csvkeys", false, "list valid -csv run keys and exit")
+		insts      = flag.Uint64("insts", 1_000_000, "instructions per benchmark")
+		par        = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
+		only       = flag.String("only", "", "single artifact: figure2, figure3, figure4, figure5, table2, table3, table4, table5, table6, yla, sqfilter, safeloads, queue, tablesweep, ylasweep, sqfilter-ext, clamp, extensions, relatedwork, detail, verification")
+		out        = flag.String("out", "", "also write the report to this file")
+		verbose    = flag.Bool("v", false, "print per-run progress")
+		benches    = flag.String("benchmarks", "", "comma-separated benchmark subset")
+		csvKey     = flag.String("csv", "", "dump one run key's raw results as CSV to stdout (see -csvkeys)")
+		csvKeys    = flag.Bool("csvkeys", false, "list valid -csv run keys and exit")
+		cacheDir   = flag.String("cache-dir", os.Getenv("DMDC_CACHE"), "persistent result cache directory (default $DMDC_CACHE; empty disables)")
+		cacheClear = flag.Bool("cache-clear", false, "clear the result cache and exit")
 	)
 	flag.Parse()
 
-	opts := experiments.Options{Insts: *insts, Parallelism: *par}
+	if *cacheClear {
+		if *cacheDir == "" {
+			die(fmt.Errorf("-cache-clear needs -cache-dir or DMDC_CACHE"))
+		}
+		c, err := resultcache.Open(*cacheDir)
+		if err != nil {
+			die(err)
+		}
+		if err := c.Clear(); err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "cleared result cache at %s\n", c.Dir())
+		return
+	}
+
+	opts := experiments.Options{Insts: *insts, Parallelism: *par, CacheDir: *cacheDir}
 	if *benches != "" {
-		opts.Benchmarks = strings.Split(*benches, ",")
+		bs, err := experiments.ParseBenchmarks(*benches)
+		if err != nil {
+			die(err)
+		}
+		opts.Benchmarks = bs
 	}
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
-	suite := experiments.NewSuite(opts)
+	suite, err := experiments.NewSuite(opts)
+	if err != nil {
+		die(err)
+	}
 
 	if *csvKeys {
 		for _, k := range experiments.RunKeys() {
@@ -50,9 +80,9 @@ func main() {
 	}
 	if *csvKey != "" {
 		if err := suite.WriteCSV(os.Stdout, *csvKey); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			die(err)
 		}
+		checkRuns(suite)
 		return
 	}
 
@@ -108,12 +138,38 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(report)
-	fmt.Fprintf(os.Stderr, "elapsed: %s\n", time.Since(start).Round(time.Millisecond))
+	fmt.Fprintf(os.Stderr, "elapsed: %s — %s\n",
+		time.Since(start).Round(time.Millisecond), runSummary(suite))
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {
-			fmt.Fprintln(os.Stderr, "experiments:", err)
-			os.Exit(1)
+			die(err)
 		}
 	}
+	checkRuns(suite)
+}
+
+// runSummary renders the simulated-vs-cached counters for the run.
+func runSummary(s *experiments.Suite) string {
+	hits, misses, werrs := s.CacheStats()
+	line := fmt.Sprintf("%d simulations run", s.Simulated())
+	if s.Options().CacheDir != "" {
+		line += fmt.Sprintf(", cache: %d hits / %d misses", hits, misses)
+		if werrs > 0 {
+			line += fmt.Sprintf(" (%d write errors)", werrs)
+		}
+	}
+	return line
+}
+
+// checkRuns exits nonzero if any simulation in the matrix failed.
+func checkRuns(s *experiments.Suite) {
+	if err := s.Err(); err != nil {
+		die(err)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
 }

@@ -16,7 +16,7 @@
 //
 // or regenerate the paper's evaluation:
 //
-//	suite := dmdc.NewSuite(dmdc.SuiteOptions{Insts: 1_000_000})
+//	suite, err := dmdc.NewSuite(dmdc.SuiteOptions{Insts: 1_000_000})
 //	fmt.Println(suite.Report())
 package dmdc
 
@@ -149,5 +149,6 @@ func Simulate(m Machine, benchmark string, kind PolicyKind, insts uint64, opts .
 }
 
 // NewSuite builds the experiment suite that regenerates the paper's
-// tables and figures.
-func NewSuite(o SuiteOptions) *Suite { return experiments.NewSuite(o) }
+// tables and figures. It returns an error when the options name an
+// unknown benchmark or the result cache directory cannot be opened.
+func NewSuite(o SuiteOptions) (*Suite, error) { return experiments.NewSuite(o) }

@@ -77,7 +77,10 @@ func TestSimulateWithInvalidations(t *testing.T) {
 }
 
 func TestSuiteFacade(t *testing.T) {
-	s := dmdc.NewSuite(dmdc.SuiteOptions{Insts: 20_000, Benchmarks: []string{"gzip", "swim"}})
+	s, err := dmdc.NewSuite(dmdc.SuiteOptions{Insts: 20_000, Benchmarks: []string{"gzip", "swim"}})
+	if err != nil {
+		t.Fatal(err)
+	}
 	f := s.Figure2()
 	if len(f.QuadWord) == 0 {
 		t.Error("suite facade produced empty figure")

@@ -19,10 +19,14 @@ func main() {
 	if len(os.Args) > 1 {
 		benches = strings.Split(os.Args[1], ",")
 	}
-	suite := experiments.NewSuite(experiments.Options{
+	suite, err := experiments.NewSuite(experiments.Options{
 		Insts:      300_000,
 		Benchmarks: benches,
 	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "designspace:", err)
+		os.Exit(1)
+	}
 	fmt.Println(suite.VerificationComparison())
 	fmt.Println(suite.RelatedWork())
 	fmt.Println(`How to read this:

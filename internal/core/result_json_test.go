@@ -1,0 +1,50 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// TestResultJSONRoundTrip guards the serialization contract the persistent
+// result cache (internal/resultcache) depends on: a Result produced by a
+// real simulation must survive a JSON round trip bit-for-bit in every
+// field experiments read — timing, energy breakdown, and the full ordered
+// stats set.
+func TestResultJSONRoundTrip(t *testing.T) {
+	r := dmdcSim(t, "gzip", false).Run(5000)
+
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Result
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+
+	if back.Benchmark != r.Benchmark || back.Class != r.Class ||
+		back.Config != r.Config || back.Policy != r.Policy ||
+		back.Cycles != r.Cycles || back.Insts != r.Insts {
+		t.Errorf("scalar fields changed:\n  got  %v\n  want %v", &back, r)
+	}
+	if back.Energy != r.Energy {
+		t.Error("energy breakdown changed across round trip")
+	}
+	if back.IPC() != r.IPC() {
+		t.Errorf("IPC %g != %g", back.IPC(), r.IPC())
+	}
+
+	names := r.Stats.Names()
+	gotNames := back.Stats.Names()
+	if len(gotNames) != len(names) {
+		t.Fatalf("stats count %d, want %d", len(gotNames), len(names))
+	}
+	for i, n := range names {
+		if gotNames[i] != n {
+			t.Errorf("stats order[%d] = %q, want %q", i, gotNames[i], n)
+		}
+		if back.Stats.Get(n) != r.Stats.Get(n) {
+			t.Errorf("stat %s = %g, want %g", n, back.Stats.Get(n), r.Stats.Get(n))
+		}
+	}
+}

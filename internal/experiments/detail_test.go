@@ -71,7 +71,7 @@ func TestRunKeysComplete(t *testing.T) {
 		t.Fatalf("only %d run keys", len(keys))
 	}
 	// Every advertised key must resolve to a spec without panicking.
-	s := NewSuite(Options{Insts: 1000, Benchmarks: []string{"gzip"}})
+	s := mustSuite(Options{Insts: 1000, Benchmarks: []string{"gzip"}})
 	for _, k := range keys {
 		func() {
 			defer func() {

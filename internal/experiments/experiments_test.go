@@ -16,16 +16,66 @@ func testSuite(t *testing.T, insts uint64, benches ...string) *Suite {
 	if len(benches) == 0 {
 		benches = []string{"gzip", "gcc", "vortex", "swim", "applu", "art"}
 	}
-	return NewSuite(Options{Insts: insts, Benchmarks: benches})
+	s, err := NewSuite(Options{Insts: insts, Benchmarks: benches})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// mustSuite is the non-testing.T variant for helpers that predate t.
+func mustSuite(o Options) *Suite {
+	s, err := NewSuite(o)
+	if err != nil {
+		panic(err)
+	}
+	return s
 }
 
 func TestOptionsNormalization(t *testing.T) {
-	o := Options{}.normalized()
+	o, err := Options{}.normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if o.Insts == 0 || o.Parallelism <= 0 || len(o.Benchmarks) != 26 {
 		t.Errorf("normalization incomplete: %+v", o)
 	}
 	if DefaultOptions().Insts == 0 {
 		t.Error("default options empty")
+	}
+}
+
+func TestOptionsValidation(t *testing.T) {
+	if _, err := NewSuite(Options{Benchmarks: []string{"no-such-bench"}}); err == nil {
+		t.Error("unknown benchmark accepted")
+	} else if !strings.Contains(err.Error(), "gzip") {
+		t.Errorf("error does not list valid benchmarks: %v", err)
+	}
+	if _, err := NewSuite(Options{Benchmarks: []string{"gzip", ""}}); err == nil {
+		t.Error("empty benchmark name accepted")
+	}
+	s, err := NewSuite(Options{Benchmarks: []string{" gzip", "swim "}})
+	if err != nil {
+		t.Fatalf("whitespace-padded names rejected: %v", err)
+	}
+	if got := s.Options().Benchmarks; got[0] != "gzip" || got[1] != "swim" {
+		t.Errorf("names not trimmed: %q", got)
+	}
+}
+
+func TestParseBenchmarks(t *testing.T) {
+	bs, err := ParseBenchmarks(" gzip, mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bs) != 2 || bs[0] != "gzip" || bs[1] != "mcf" {
+		t.Errorf("ParseBenchmarks = %q", bs)
+	}
+	if _, err := ParseBenchmarks("gzip,,mcf"); err == nil {
+		t.Error("empty element accepted")
+	}
+	if _, err := ParseBenchmarks("no-such-bench"); err == nil {
+		t.Error("unknown benchmark accepted")
 	}
 }
 
@@ -35,7 +85,7 @@ func TestSpecForUnknownKeyPanics(t *testing.T) {
 			t.Error("unknown key accepted")
 		}
 	}()
-	NewSuite(DefaultOptions()).specFor("nonsense")
+	mustSuite(DefaultOptions()).specFor("nonsense")
 }
 
 func TestFigure2Shape(t *testing.T) {

@@ -14,7 +14,7 @@ func TestPaperShapes(t *testing.T) {
 	if testing.Short() {
 		t.Skip("paper-shape regression is slow")
 	}
-	s := NewSuite(Options{
+	s := mustSuite(Options{
 		Insts: 150_000,
 		Benchmarks: []string{
 			"gzip", "gcc", "vortex", "parser", // INT spread

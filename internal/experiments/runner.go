@@ -6,14 +6,18 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
+	"time"
 
 	"dmdc/internal/config"
 	"dmdc/internal/core"
 	"dmdc/internal/energy"
 	"dmdc/internal/lsq"
+	"dmdc/internal/resultcache"
 	"dmdc/internal/trace"
 )
 
@@ -25,9 +29,15 @@ type Options struct {
 	// Parallelism bounds concurrent simulations; 0 means GOMAXPROCS.
 	Parallelism int
 	// Benchmarks restricts the benchmark set; empty means all 26.
+	// Names are validated (and whitespace-trimmed) by NewSuite.
 	Benchmarks []string
-	// Progress, when non-nil, receives one line per completed run.
+	// Progress, when non-nil, receives one line per completed run with
+	// completed/total counts, cache-hit status, and an ETA.
 	Progress func(string)
+	// CacheDir, when non-empty, enables the persistent result cache
+	// rooted at that directory (see internal/resultcache). Deterministic
+	// simulation makes cached results exact, not approximate.
+	CacheDir string
 }
 
 // DefaultOptions returns options suitable for regenerating the paper's
@@ -36,7 +46,10 @@ func DefaultOptions() Options {
 	return Options{Insts: 1_000_000}
 }
 
-func (o Options) normalized() Options {
+// normalized fills defaults and validates the benchmark list: names are
+// whitespace-trimmed, and empty or unknown names are rejected with an
+// error listing the valid set.
+func (o Options) normalized() (Options, error) {
 	if o.Insts == 0 {
 		o.Insts = 1_000_000
 	}
@@ -45,8 +58,34 @@ func (o Options) normalized() Options {
 	}
 	if len(o.Benchmarks) == 0 {
 		o.Benchmarks = trace.Names()
+		return o, nil
 	}
-	return o
+	cleaned := make([]string, 0, len(o.Benchmarks))
+	for _, b := range o.Benchmarks {
+		b = strings.TrimSpace(b)
+		if b == "" {
+			return o, fmt.Errorf("empty benchmark name in list; valid benchmarks: %s",
+				strings.Join(trace.Names(), ", "))
+		}
+		if _, err := trace.ByName(b); err != nil {
+			return o, fmt.Errorf("%w; valid benchmarks: %s",
+				err, strings.Join(trace.Names(), ", "))
+		}
+		cleaned = append(cleaned, b)
+	}
+	o.Benchmarks = cleaned
+	return o, nil
+}
+
+// ParseBenchmarks splits a comma-separated benchmark list as given on a
+// command line: elements are whitespace-trimmed, and empty or unknown
+// names produce an error listing the valid benchmark set.
+func ParseBenchmarks(s string) ([]string, error) {
+	o, err := Options{Benchmarks: strings.Split(s, ",")}.normalized()
+	if err != nil {
+		return nil, err
+	}
+	return o.Benchmarks, nil
 }
 
 // PolicyFactory builds a policy wired to an energy model, given the
@@ -103,15 +142,37 @@ type runSpec struct {
 	extraOpts []core.Option
 }
 
-// runMatrix executes each spec over every benchmark, in parallel, and
-// returns results keyed by spec key, in benchmark order.
-func runMatrix(o Options, specs []runSpec) map[string][]*core.Result {
-	type job struct {
-		spec  runSpec
-		bench string
-		slot  int
-	}
-	var jobs []job
+// RunError labels the failure of one simulation in the matrix with the
+// run-spec key and benchmark it belonged to.
+type RunError struct {
+	Key       string
+	Benchmark string
+	Err       error
+}
+
+// Error renders the labeled failure.
+func (e *RunError) Error() string {
+	return fmt.Sprintf("run %s/%s: %v", e.Key, e.Benchmark, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *RunError) Unwrap() error { return e.Err }
+
+// job is one (spec, benchmark) cell of the matrix.
+type job struct {
+	spec  runSpec
+	bench string
+	slot  int
+}
+
+// runMatrix executes each spec over every benchmark on a bounded worker
+// pool and returns results keyed by spec key, in benchmark order. Failed
+// cells stay nil in the result slices; their labeled errors are joined
+// into the returned error, so one bad run never takes down the process or
+// discards its siblings' work.
+func (s *Suite) runMatrix(specs []runSpec) (map[string][]*core.Result, error) {
+	o := s.opts
+	jobs := make([]job, 0, len(specs)*len(o.Benchmarks))
 	for _, sp := range specs {
 		for i, b := range o.Benchmarks {
 			jobs = append(jobs, job{spec: sp, bench: b, slot: i})
@@ -121,40 +182,114 @@ func runMatrix(o Options, specs []runSpec) map[string][]*core.Result {
 	for _, sp := range specs {
 		out[sp.key] = make([]*core.Result, len(o.Benchmarks))
 	}
-	var mu sync.Mutex
-	sem := make(chan struct{}, o.Parallelism)
-	var wg sync.WaitGroup
-	for _, j := range jobs {
-		wg.Add(1)
-		go func(j job) {
-			defer wg.Done()
-			sem <- struct{}{}
-			defer func() { <-sem }()
-			prof, err := trace.ByName(j.bench)
-			if err != nil {
-				panic(err) // benchmark list is validated up front
-			}
-			em := energy.NewModel(j.spec.machine.CoreSize())
-			pol := j.spec.factory(j.spec.machine, em)
-			opts := append([]core.Option{}, j.spec.extraOpts...)
-			if j.spec.invRate > 0 {
-				opts = append(opts, core.WithInvalidations(j.spec.invRate))
-			}
-			if j.spec.monitors != nil {
-				opts = append(opts, core.WithMonitors(j.spec.monitors()...))
-			}
-			sim := core.New(j.spec.machine, prof, pol, em, opts...)
-			r := sim.Run(o.Insts)
-			mu.Lock()
-			out[j.spec.key][j.slot] = r
-			mu.Unlock()
-			if o.Progress != nil {
-				o.Progress(fmt.Sprintf("done %s/%s", j.spec.key, j.bench))
-			}
-		}(j)
+
+	workers := o.Parallelism
+	if workers > len(jobs) {
+		workers = len(jobs)
 	}
+	jobCh := make(chan job)
+	var (
+		mu        sync.Mutex
+		errs      []error
+		completed int
+	)
+	total := len(jobs)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := range jobCh {
+				r, cached, err := s.runJob(j.spec, j.bench)
+				mu.Lock()
+				if err != nil {
+					errs = append(errs, err)
+				} else {
+					out[j.spec.key][j.slot] = r
+				}
+				completed++
+				done := completed
+				mu.Unlock()
+				if o.Progress != nil {
+					o.Progress(progressLine(done, total, j, cached, err, start))
+				}
+			}
+		}()
+	}
+	for _, j := range jobs {
+		jobCh <- j
+	}
+	close(jobCh)
 	wg.Wait()
-	return out
+	return out, errors.Join(errs...)
+}
+
+// progressLine formats one completion: "[done/total] status key/bench eta".
+func progressLine(done, total int, j job, cached bool, err error, start time.Time) string {
+	status := "sim"
+	switch {
+	case err != nil:
+		status = "ERROR"
+	case cached:
+		status = "hit"
+	}
+	line := fmt.Sprintf("[%d/%d] %-5s %s/%s", done, total, status, j.spec.key, j.bench)
+	if done < total && done > 0 {
+		if elapsed := time.Since(start); elapsed > 0 {
+			eta := time.Duration(float64(elapsed) / float64(done) * float64(total-done))
+			line += fmt.Sprintf(" eta %s", eta.Round(time.Second))
+		}
+	}
+	return line
+}
+
+// runJob runs (or fetches from cache) one cell of the matrix. A panic
+// anywhere inside the simulator is recovered into a labeled *RunError
+// rather than crashing the worker pool.
+func (s *Suite) runJob(sp runSpec, bench string) (r *core.Result, cached bool, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, cached = nil, false
+			err = &RunError{Key: sp.key, Benchmark: bench, Err: fmt.Errorf("panic: %v", p)}
+		}
+	}()
+	var key string
+	if s.cache != nil {
+		key = resultcache.Key(resultcache.KeySpec{
+			Machine:   sp.machine,
+			RunKey:    sp.key,
+			Benchmark: bench,
+			Insts:     s.opts.Insts,
+		})
+		if hit, ok := s.cache.Get(key); ok {
+			return hit, true, nil
+		}
+	}
+	prof, err := trace.ByName(bench)
+	if err != nil {
+		// Benchmarks are validated in NewSuite; this guards direct
+		// construction paths (tests, future callers).
+		return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: err}
+	}
+	em := energy.NewModel(sp.machine.CoreSize())
+	pol := sp.factory(sp.machine, em)
+	opts := append([]core.Option{}, sp.extraOpts...)
+	if sp.invRate > 0 {
+		opts = append(opts, core.WithInvalidations(sp.invRate))
+	}
+	if sp.monitors != nil {
+		opts = append(opts, core.WithMonitors(sp.monitors()...))
+	}
+	sim := core.New(sp.machine, prof, pol, em, opts...)
+	r = sim.Run(s.opts.Insts)
+	s.simulated.Add(1)
+	if s.cache != nil {
+		// Best-effort: a failed write only costs a recompute next time;
+		// the cache counts it (WriteErrors) for observability.
+		s.cache.Put(key, r)
+	}
+	return r, false, nil
 }
 
 // classOf returns each result's benchmark class.

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"errors"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"dmdc/internal/config"
+	"dmdc/internal/energy"
+	"dmdc/internal/lsq"
+)
+
+// TestRunMatrixRecoversPanics: a crashing run must surface as a labeled
+// error, not a process crash, and must not discard sibling results.
+func TestRunMatrixRecoversPanics(t *testing.T) {
+	s := mustSuite(Options{Insts: 2000, Benchmarks: []string{"gzip", "swim"}})
+	good := runSpec{key: "good", machine: config.Config2(), factory: BaselineFactory}
+	bad := runSpec{
+		key:     "bad",
+		machine: config.Config2(),
+		factory: func(m config.Machine, em *energy.Model) lsq.Policy {
+			panic("factory exploded")
+		},
+	}
+	out, err := s.runMatrix([]runSpec{good, bad})
+	if err == nil {
+		t.Fatal("panicking spec produced no error")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is not a *RunError: %v", err)
+	}
+	if re.Key != "bad" || (re.Benchmark != "gzip" && re.Benchmark != "swim") {
+		t.Errorf("error not labeled with spec key + benchmark: %+v", re)
+	}
+	if !strings.Contains(err.Error(), "factory exploded") {
+		t.Errorf("cause lost: %v", err)
+	}
+	for i, r := range out["good"] {
+		if r == nil {
+			t.Errorf("sibling result %d discarded", i)
+		}
+	}
+	for _, r := range out["bad"] {
+		if r != nil {
+			t.Error("failed run produced a result")
+		}
+	}
+}
+
+// TestRunMatrixProgress: progress lines carry completed/total counts.
+func TestRunMatrixProgress(t *testing.T) {
+	var mu sync.Mutex
+	var lines []string
+	s := mustSuite(Options{
+		Insts:      1000,
+		Benchmarks: []string{"gzip", "swim"},
+		Progress: func(l string) {
+			mu.Lock()
+			lines = append(lines, l)
+			mu.Unlock()
+		},
+	})
+	s.get(keyBase("config2"))
+	if len(lines) != 2 {
+		t.Fatalf("got %d progress lines, want 2: %q", len(lines), lines)
+	}
+	counted := regexp.MustCompile(`^\[\d+/2\] (sim|hit)`)
+	seenFinal := false
+	for _, l := range lines {
+		if !counted.MatchString(l) {
+			t.Errorf("malformed progress line %q", l)
+		}
+		if strings.HasPrefix(l, "[2/2]") {
+			seenFinal = true
+		}
+	}
+	if !seenFinal {
+		t.Errorf("no final [2/2] line in %q", lines)
+	}
+}
+
+// TestSuiteErrSticky: runner errors accumulate on the suite, surface
+// through Err, and leave sibling results usable.
+func TestSuiteErrSticky(t *testing.T) {
+	s := mustSuite(Options{Insts: 1000, Benchmarks: []string{"gzip"}})
+	// Bypass NewSuite validation to exercise the runner's own guard
+	// against unknown benchmarks (the old code path panicked here).
+	s.opts.Benchmarks = []string{"gzip", "no-such-bench"}
+	rs := s.Results(keyBase("config2"))
+	err := s.Err()
+	if err == nil {
+		t.Fatal("unknown benchmark produced no suite error")
+	}
+	var re *RunError
+	if !errors.As(err, &re) {
+		t.Fatalf("error is not a *RunError: %v", err)
+	}
+	if re.Key != keyBase("config2") || re.Benchmark != "no-such-bench" {
+		t.Errorf("error not labeled: %+v", re)
+	}
+	if len(rs) != 2 || rs[0] == nil {
+		t.Error("healthy benchmark's result discarded")
+	}
+	if rs[1] != nil {
+		t.Error("failed benchmark produced a result")
+	}
+}

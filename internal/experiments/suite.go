@@ -1,12 +1,15 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"dmdc/internal/config"
 	"dmdc/internal/core"
 	"dmdc/internal/lsq"
+	"dmdc/internal/resultcache"
 )
 
 // Monitor sweep parameters for Figures 2 and 3.
@@ -36,19 +39,72 @@ func keyQueue(n int) string       { return fmt.Sprintf("dmdc-queue%d", n) }
 
 // Suite lazily runs the simulation matrix: each experiment method triggers
 // only the runs it needs, and results are shared between experiments.
+// A Suite is safe for concurrent use; overlapping requests for the same
+// run key are single-flighted so each spec simulates at most once.
 type Suite struct {
-	opts    Options
-	mu      sync.Mutex
-	results map[string][]*core.Result
+	opts  Options
+	cache *resultcache.Cache // nil when Options.CacheDir is empty
+
+	simulated atomic.Uint64 // simulations actually executed (cache hits excluded)
+
+	mu       sync.Mutex
+	results  map[string][]*core.Result
+	inflight map[string]*inflightRun
+	err      error // sticky join of every runner error so far
 }
 
-// NewSuite builds a suite; runs happen on demand.
-func NewSuite(o Options) *Suite {
-	return &Suite{opts: o.normalized(), results: make(map[string][]*core.Result)}
+// inflightRun tracks one key being computed; waiters block on done.
+type inflightRun struct {
+	done chan struct{}
+}
+
+// NewSuite builds a suite; runs happen on demand. It returns an error when
+// the benchmark list names an unknown benchmark or the result cache
+// directory cannot be opened.
+func NewSuite(o Options) (*Suite, error) {
+	no, err := o.normalized()
+	if err != nil {
+		return nil, err
+	}
+	s := &Suite{
+		opts:     no,
+		results:  make(map[string][]*core.Result),
+		inflight: make(map[string]*inflightRun),
+	}
+	if no.CacheDir != "" {
+		c, err := resultcache.Open(no.CacheDir)
+		if err != nil {
+			return nil, err
+		}
+		s.cache = c
+	}
+	return s, nil
 }
 
 // Options returns the normalized options in effect.
 func (s *Suite) Options() Options { return s.opts }
+
+// Err returns every runner error accumulated so far (joined), or nil.
+// Experiment methods render whatever results exist; callers that need
+// hard guarantees check Err after generating their artifacts.
+func (s *Suite) Err() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.err
+}
+
+// Simulated returns the number of simulations actually executed by this
+// suite — cache hits are excluded, so a fully warm run reports zero.
+func (s *Suite) Simulated() uint64 { return s.simulated.Load() }
+
+// CacheStats returns the result-cache hit/miss/write-error counters, or
+// zeros when no cache is configured.
+func (s *Suite) CacheStats() (hits, misses, writeErrors uint64) {
+	if s.cache == nil {
+		return 0, 0, 0
+	}
+	return s.cache.Hits(), s.cache.Misses(), s.cache.WriteErrors()
+}
 
 // specFor materializes the runSpec for a key.
 func (s *Suite) specFor(key string) runSpec {
@@ -108,23 +164,48 @@ func allMonitors() []lsq.Monitor {
 }
 
 // get returns results for the given keys, running any that are missing.
+// Each key is single-flighted: when several goroutines request overlapping
+// keys, exactly one claims each missing key and runs it while the others
+// wait on its completion, so no spec ever simulates twice.
 func (s *Suite) get(keys ...string) map[string][]*core.Result {
 	s.mu.Lock()
-	var missing []runSpec
+	var mine []runSpec
+	var wait []*inflightRun
 	for _, k := range keys {
-		if _, ok := s.results[k]; !ok {
-			missing = append(missing, s.specFor(k))
+		if _, ok := s.results[k]; ok {
+			continue
 		}
+		if fl, ok := s.inflight[k]; ok {
+			wait = append(wait, fl)
+			continue
+		}
+		sp := s.specFor(k)
+		s.inflight[k] = &inflightRun{done: make(chan struct{})}
+		mine = append(mine, sp)
 	}
 	s.mu.Unlock()
-	if len(missing) > 0 {
-		fresh := runMatrix(s.opts, missing)
+
+	if len(mine) > 0 {
+		fresh, err := s.runMatrix(mine)
 		s.mu.Lock()
 		for k, v := range fresh {
 			s.results[k] = v
 		}
+		if err != nil {
+			s.err = errors.Join(s.err, err)
+		}
+		for _, sp := range mine {
+			if fl, ok := s.inflight[sp.key]; ok {
+				close(fl.done)
+				delete(s.inflight, sp.key)
+			}
+		}
 		s.mu.Unlock()
 	}
+	for _, fl := range wait {
+		<-fl.done
+	}
+
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	out := make(map[string][]*core.Result, len(keys))

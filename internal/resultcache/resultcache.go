@@ -1,0 +1,207 @@
+// Package resultcache persists simulation results on disk so repeated
+// experiment invocations skip work they have already done. Simulations are
+// deterministic (DESIGN.md §5): a result is fully determined by the machine
+// configuration, the run-spec key (which fixes the policy, monitors, and
+// injection options), the benchmark, and the instruction budget — so those
+// inputs, plus a format version, form a content address.
+//
+// The cache is a flat directory of JSON entries named by the SHA-256 of
+// the canonical key material. Writes are atomic (temp file + rename into
+// place), so concurrent processes sharing a cache directory can only ever
+// observe complete entries. Reads are corruption-tolerant: an unreadable,
+// malformed, or version-mismatched entry is treated as a miss (and
+// removed) so the caller recomputes instead of crashing.
+//
+// Invalidation: bump FormatVersion whenever simulator semantics change in
+// a way that alters results (new stats, timing fixes, energy recalibration).
+// Old entries become unreachable (the version participates in the key) and
+// are rejected even if addressed directly (the version is also stored in
+// the entry body).
+package resultcache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+
+	"dmdc/internal/config"
+	"dmdc/internal/core"
+)
+
+// FormatVersion identifies the cache entry format AND the simulator
+// semantics the cached results were produced under. Bump it whenever a
+// change to the simulator, energy model, workloads, or stats would make
+// previously cached results stale.
+const FormatVersion = 1
+
+// entryExt is the suffix of cache entry files.
+const entryExt = ".json"
+
+// KeySpec is the canonical key material for one cached result.
+type KeySpec struct {
+	// Version is filled in by Key; callers leave it zero.
+	Version int `json:"version"`
+	// Machine is the full machine configuration (all fields exported,
+	// so the JSON encoding captures every sizing parameter).
+	Machine config.Machine `json:"machine"`
+	// RunKey is the experiment run-spec key (e.g. "dmdc-global-config2").
+	// It determines the policy factory, monitors, and injection options,
+	// which are code, not data — the key string stands in for them.
+	RunKey string `json:"run_key"`
+	// Benchmark is the workload name.
+	Benchmark string `json:"benchmark"`
+	// Insts is the committed-instruction budget.
+	Insts uint64 `json:"insts"`
+}
+
+// Key returns the content address for a KeySpec: the hex SHA-256 of its
+// canonical JSON encoding with the current FormatVersion.
+func Key(ks KeySpec) string {
+	ks.Version = FormatVersion
+	b, err := json.Marshal(ks)
+	if err != nil {
+		// KeySpec is a closed struct of marshalable fields; this cannot
+		// fail at runtime.
+		panic(fmt.Sprintf("resultcache: marshal key: %v", err))
+	}
+	sum := sha256.Sum256(b)
+	return hex.EncodeToString(sum[:])
+}
+
+// entry is the on-disk representation of one cached result.
+type entry struct {
+	Version int          `json:"version"`
+	Result  *core.Result `json:"result"`
+}
+
+// Cache is a content-addressed on-disk result store. All methods are safe
+// for concurrent use, including by multiple processes sharing a directory.
+type Cache struct {
+	dir string
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	writeErrs atomic.Uint64
+}
+
+// Open creates (if needed) and opens a cache rooted at dir.
+func Open(dir string) (*Cache, error) {
+	if dir == "" {
+		return nil, errors.New("resultcache: empty cache directory")
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("resultcache: %w", err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache's root directory.
+func (c *Cache) Dir() string { return c.dir }
+
+// path maps a key to its entry file.
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key+entryExt)
+}
+
+// Get returns the cached result for key, or (nil, false) on a miss. A
+// corrupted or version-mismatched entry counts as a miss and is removed so
+// the recomputed result can replace it.
+func (c *Cache) Get(key string) (*core.Result, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil || e.Version != FormatVersion || e.Result == nil {
+		os.Remove(c.path(key)) // bad entry: recompute, don't crash
+		c.misses.Add(1)
+		return nil, false
+	}
+	c.hits.Add(1)
+	return e.Result, true
+}
+
+// Put stores a result under key. The write is atomic: a reader (in this or
+// any other process) sees either no entry or a complete one.
+func (c *Cache) Put(key string, r *core.Result) error {
+	b, err := json.Marshal(entry{Version: FormatVersion, Result: r})
+	if err != nil {
+		c.writeErrs.Add(1)
+		return fmt.Errorf("resultcache: marshal entry: %w", err)
+	}
+	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
+	if err != nil {
+		c.writeErrs.Add(1)
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if _, err := tmp.Write(b); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		c.writeErrs.Add(1)
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		c.writeErrs.Add(1)
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		c.writeErrs.Add(1)
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	return nil
+}
+
+// Clear removes every cache entry (and stray temp files), leaving the
+// directory in place.
+func (c *Cache) Clear() error {
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		return fmt.Errorf("resultcache: %w", err)
+	}
+	var firstErr error
+	for _, de := range names {
+		n := de.Name()
+		if !strings.HasSuffix(n, entryExt) && !strings.HasSuffix(n, ".tmp") {
+			continue
+		}
+		if err := os.Remove(filepath.Join(c.dir, n)); err != nil && firstErr == nil {
+			firstErr = fmt.Errorf("resultcache: %w", err)
+		}
+	}
+	return firstErr
+}
+
+// Len counts the entries currently on disk.
+func (c *Cache) Len() (int, error) {
+	names, err := os.ReadDir(c.dir)
+	if err != nil {
+		return 0, fmt.Errorf("resultcache: %w", err)
+	}
+	n := 0
+	for _, de := range names {
+		if strings.HasSuffix(de.Name(), entryExt) {
+			n++
+		}
+	}
+	return n, nil
+}
+
+// Hits returns the number of successful Gets since Open.
+func (c *Cache) Hits() uint64 { return c.hits.Load() }
+
+// Misses returns the number of failed Gets since Open.
+func (c *Cache) Misses() uint64 { return c.misses.Load() }
+
+// WriteErrors returns the number of failed Puts since Open. Put failures
+// are recoverable (the result is simply recomputed next time), so callers
+// typically surface this as a counter rather than aborting.
+func (c *Cache) WriteErrors() uint64 { return c.writeErrs.Load() }

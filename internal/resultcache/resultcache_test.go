@@ -1,0 +1,179 @@
+package resultcache
+
+import (
+	"encoding/json"
+	"os"
+	"testing"
+
+	"dmdc/internal/config"
+	"dmdc/internal/core"
+	"dmdc/internal/energy"
+	"dmdc/internal/stats"
+	"dmdc/internal/trace"
+)
+
+// testResult builds a representative Result without running a simulation.
+func testResult() *core.Result {
+	set := stats.NewSet()
+	set.Put("cycles", 1234)
+	set.Put("committed", 1000)
+	set.Add("core_replays_total", 7)
+	var br energy.Breakdown
+	br.Sums[0] = 42.5
+	br.Counts[0] = 17
+	br.Cycles = 1234
+	return &core.Result{
+		Benchmark: "gzip",
+		Class:     trace.INT,
+		Config:    "config2",
+		Policy:    "dmdc",
+		Cycles:    1234,
+		Insts:     1000,
+		Energy:    br,
+		Stats:     set,
+	}
+}
+
+func testKey() string {
+	return Key(KeySpec{
+		Machine:   config.Config2(),
+		RunKey:    "dmdc-global-config2",
+		Benchmark: "gzip",
+		Insts:     1000,
+	})
+}
+
+func TestRoundTrip(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if _, ok := c.Get(key); ok {
+		t.Fatal("hit on empty cache")
+	}
+	want := testResult()
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("miss after Put")
+	}
+	if got.Benchmark != want.Benchmark || got.Cycles != want.Cycles ||
+		got.Class != want.Class || got.Policy != want.Policy {
+		t.Errorf("round trip changed result: got %+v", got)
+	}
+	if got.Energy.Sums[0] != want.Energy.Sums[0] || got.Energy.Counts[0] != want.Energy.Counts[0] {
+		t.Errorf("energy breakdown not preserved: %+v", got.Energy)
+	}
+	if got.Stats.Get("cycles") != 1234 || got.Stats.Get("core_replays_total") != 7 {
+		t.Errorf("stats not preserved: %v", got.Stats)
+	}
+	if names := got.Stats.Names(); len(names) != 3 || names[0] != "cycles" {
+		t.Errorf("stats order not preserved: %v", names)
+	}
+	if c.Hits() != 1 || c.Misses() != 1 {
+		t.Errorf("counters: %d hits, %d misses", c.Hits(), c.Misses())
+	}
+	if n, err := c.Len(); err != nil || n != 1 {
+		t.Errorf("Len = %d, %v", n, err)
+	}
+}
+
+func TestKeyDiscriminates(t *testing.T) {
+	base := KeySpec{Machine: config.Config2(), RunKey: "k", Benchmark: "gzip", Insts: 1000}
+	seen := map[string]string{Key(base): "base"}
+	variants := map[string]KeySpec{}
+	v := base
+	v.Insts = 2000
+	variants["insts"] = v
+	v = base
+	v.Benchmark = "mcf"
+	variants["benchmark"] = v
+	v = base
+	v.RunKey = "k2"
+	variants["run key"] = v
+	v = base
+	v.Machine = config.Config1()
+	variants["machine"] = v
+	for what, ks := range variants {
+		k := Key(ks)
+		if prev, dup := seen[k]; dup {
+			t.Errorf("changing %s collides with %s", what, prev)
+		}
+		seen[k] = what
+	}
+	if Key(base) != Key(base) {
+		t.Error("Key not deterministic")
+	}
+}
+
+func TestVersionMismatch(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	// Hand-write an entry claiming a stale format version; it must read
+	// as a miss and be evicted.
+	b, err := json.Marshal(entry{Version: FormatVersion + 1, Result: testResult()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(key), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("stale-version entry served")
+	}
+	if _, err := os.Stat(c.path(key)); !os.IsNotExist(err) {
+		t.Error("stale entry not evicted")
+	}
+}
+
+func TestCorruptedEntry(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	if err := os.WriteFile(c.path(key), []byte("{truncated garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("corrupted entry served")
+	}
+	// The recompute path must be able to replace it.
+	if err := c.Put(key, testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Error("replacement entry not served")
+	}
+}
+
+func TestClear(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Put(testKey(), testResult()); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Clear(); err != nil {
+		t.Fatal(err)
+	}
+	if n, err := c.Len(); err != nil || n != 0 {
+		t.Errorf("after Clear: Len = %d, %v", n, err)
+	}
+	if _, ok := c.Get(testKey()); ok {
+		t.Error("entry survived Clear")
+	}
+}
+
+func TestOpenRejectsEmptyDir(t *testing.T) {
+	if _, err := Open(""); err == nil {
+		t.Error("empty directory accepted")
+	}
+}

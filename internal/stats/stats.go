@@ -3,6 +3,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"fmt"
 	"math"
 	"sort"
@@ -75,6 +76,41 @@ func (s *Set) Merge(other *Set) {
 	for _, name := range other.order {
 		s.Add(name, other.values[name])
 	}
+}
+
+// setJSON is the serialized form of a Set: parallel name/value slices in
+// insertion order, so a round trip preserves both values and ordering.
+type setJSON struct {
+	Names  []string  `json:"names"`
+	Values []float64 `json:"values"`
+}
+
+// MarshalJSON encodes the set with its insertion order intact.
+func (s *Set) MarshalJSON() ([]byte, error) {
+	sj := setJSON{Names: s.order, Values: make([]float64, len(s.order))}
+	for i, name := range s.order {
+		sj.Values[i] = s.values[name]
+	}
+	return json.Marshal(sj)
+}
+
+// UnmarshalJSON decodes a set encoded by MarshalJSON, replacing any
+// existing contents.
+func (s *Set) UnmarshalJSON(b []byte) error {
+	var sj setJSON
+	if err := json.Unmarshal(b, &sj); err != nil {
+		return err
+	}
+	if len(sj.Names) != len(sj.Values) {
+		return fmt.Errorf("stats: malformed set: %d names, %d values",
+			len(sj.Names), len(sj.Values))
+	}
+	s.values = make(map[string]float64, len(sj.Names))
+	s.order = nil
+	for i, name := range sj.Names {
+		s.Put(name, sj.Values[i])
+	}
+	return nil
 }
 
 // String renders the set as "name value" lines in insertion order.

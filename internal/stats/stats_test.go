@@ -1,6 +1,7 @@
 package stats
 
 import (
+	"encoding/json"
 	"math"
 	"strings"
 	"testing"
@@ -250,5 +251,53 @@ func TestSortedKeys(t *testing.T) {
 	keys := SortedKeys(m)
 	if len(keys) != 3 || keys[0] != "a" || keys[1] != "b" || keys[2] != "c" {
 		t.Errorf("sorted keys = %v", keys)
+	}
+}
+
+func TestSetJSONRoundTrip(t *testing.T) {
+	s := NewSet()
+	s.Put("zeta", 1.5)
+	s.Put("alpha", 0) // zero values must survive too
+	s.Inc("zeta")
+	s.Put("mid", -3)
+
+	b, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Set
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatal(err)
+	}
+	wantOrder := []string{"zeta", "alpha", "mid"}
+	gotOrder := back.Names()
+	if len(gotOrder) != len(wantOrder) {
+		t.Fatalf("order length %d, want %d", len(gotOrder), len(wantOrder))
+	}
+	for i, n := range wantOrder {
+		if gotOrder[i] != n {
+			t.Errorf("order[%d] = %q, want %q", i, gotOrder[i], n)
+		}
+		if back.Get(n) != s.Get(n) {
+			t.Errorf("%s = %g, want %g", n, back.Get(n), s.Get(n))
+		}
+	}
+	if !back.Has("alpha") {
+		t.Error("zero-valued counter lost")
+	}
+	// The decoded set must be fully usable, not just readable.
+	back.Inc("new")
+	if back.Get("new") != 1 {
+		t.Error("decoded set not writable")
+	}
+}
+
+func TestSetJSONMalformed(t *testing.T) {
+	var s Set
+	if err := json.Unmarshal([]byte(`{"names":["a","b"],"values":[1]}`), &s); err == nil {
+		t.Error("mismatched names/values accepted")
+	}
+	if err := json.Unmarshal([]byte(`{notjson`), &s); err == nil {
+		t.Error("garbage accepted")
 	}
 }
