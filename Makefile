@@ -4,14 +4,17 @@
 #   make test        tier-1: full test suite (what CI gates on)
 #   make check       vet + race-enabled tests for the concurrent packages
 #                    (experiment runner, result cache) — keeps the
-#                    singleflight and worker-pool fixes fixed
+#                    singleflight and worker-pool fixes fixed — plus the
+#                    soundness suite (oracle, fault injection, watchdog)
+#                    and a short fuzz pass over both fuzz targets
+#   make fuzz-short  60s split across the fuzz targets
 #   make bench       short benchmark pass
 #   make report      regenerate the full paper report with a warm cache
 
 GO ?= go
 CACHE_DIR ?= .dmdc-cache
 
-.PHONY: all build test check vet race bench report clean-cache
+.PHONY: all build test check vet race soundness fuzz-short bench report clean-cache
 
 all: build test check
 
@@ -29,7 +32,19 @@ vet:
 race:
 	$(GO) test -race -short ./internal/experiments/... ./internal/resultcache/... ./internal/core/...
 
-check: vet race
+# The soundness suite: lockstep oracle across every policy, the full
+# fault-injection campaign, watchdog and wrong-path error paths, and the
+# policy-level property tests.
+soundness:
+	$(GO) test -run 'Soundness|Oracle|Watchdog|WrongPath|Fault|Invariant' ./internal/core/... ./internal/soundness/... ./internal/lsq/... ./internal/experiments/...
+
+# 60 seconds of fuzzing split across the targets (seed corpora always run
+# as part of tier-1; this explores beyond them).
+fuzz-short:
+	$(GO) test -run '^$$' -fuzz FuzzPolicySoundness -fuzztime 40s ./internal/lsq/
+	$(GO) test -run '^$$' -fuzz FuzzFaultSpecParse -fuzztime 20s ./internal/soundness/
+
+check: vet race soundness fuzz-short
 
 bench:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...

@@ -7,10 +7,13 @@
 //	dmdcsim -bench gcc -config config2 -policy dmdc -insts 1000000
 //	dmdcsim -bench swim -policy dmdc-local -inv 10
 //	dmdcsim -bench mcf -policy yla -stats
+//	dmdcsim -bench gcc -policy dmdc -oracle -faults invburst=8@50,spurious=97
+//	dmdcsim -bench gcc -policy unsound -oracle -faults storedelay=40@3
 //	dmdcsim -list
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -19,6 +22,7 @@ import (
 	"dmdc/internal/core"
 	"dmdc/internal/energy"
 	"dmdc/internal/lsq"
+	"dmdc/internal/soundness"
 	"dmdc/internal/trace"
 	"dmdc/internal/tracefile"
 )
@@ -27,13 +31,16 @@ func main() {
 	var (
 		bench    = flag.String("bench", "gcc", "benchmark name (see -list)")
 		machine  = flag.String("config", "config2", "machine configuration: config1, config2, or config3")
-		policy   = flag.String("policy", "dmdc", "LQ policy: cam, yla, bloom, dmdc, dmdc-local, dmdc-queue, agetable, value, value-svw")
+		policy   = flag.String("policy", "dmdc", "LQ policy: cam, yla, bloom, dmdc, dmdc-local, dmdc-queue, agetable, value, value-svw, unsound")
 		insts    = flag.Uint64("insts", 1_000_000, "committed instructions to simulate")
 		invRate  = flag.Float64("inv", 0, "external invalidations per 1000 cycles")
 		queue    = flag.Int("queue", 16, "checking-queue entries (dmdc-queue policy)")
 		bloomSz  = flag.Int("bloom", 256, "bloom filter size (bloom policy)")
 		traceIn  = flag.String("trace", "", "replay a recorded trace file instead of a synthetic benchmark")
 		sqFilter = flag.Bool("sqfilter", false, "enable the Section 3 store-side age filter")
+		oracle   = flag.Bool("oracle", false, "verify every commit against a lockstep in-order oracle")
+		faultsFl = flag.String("faults", "", "fault-injection campaign, e.g. invburst=8@50,storedelay=40@7,alias=4096,spurious=97")
+		wdCycles = flag.Uint64("watchdog-cycles", 0, "fail when no instruction commits for this many cycles (0 = default budget)")
 		ptFrom   = flag.Uint64("ptrace-from", 0, "pipeline-trace window start (committed inst)")
 		ptTo     = flag.Uint64("ptrace-to", 0, "pipeline-trace window end (0 = off)")
 		showAll  = flag.Bool("stats", false, "print every statistic")
@@ -52,53 +59,31 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	var workload core.Workload
-	if *traceIn != "" {
-		f, err := os.Open(*traceIn)
-		if err != nil {
-			fatal(err)
+	// makeWorkload is called once for the simulated stream and, when the
+	// oracle is on, a second time for the independent reference stream.
+	makeWorkload := func() (core.Workload, error) {
+		if *traceIn != "" {
+			f, err := os.Open(*traceIn)
+			if err != nil {
+				return nil, err
+			}
+			defer f.Close()
+			return tracefile.NewReader(f)
 		}
-		rd, err := tracefile.NewReader(f)
-		f.Close()
-		if err != nil {
-			fatal(err)
-		}
-		workload = rd
-	} else {
 		prof, err := trace.ByName(*bench)
 		if err != nil {
-			fatal(err)
+			return nil, err
 		}
-		workload = core.FromGenerator(trace.NewGenerator(prof))
+		return core.FromGenerator(trace.NewGenerator(prof)), nil
+	}
+	workload, err := makeWorkload()
+	if err != nil {
+		fatal(err)
 	}
 	em := energy.NewModel(m.CoreSize())
-	var pol lsq.Policy
-	switch *policy {
-	case "cam":
-		pol = lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize}, em)
-	case "yla":
-		pol = lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterYLA, YLARegs: 8}, em)
-	case "bloom":
-		pol = lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterBloom, BloomSize: *bloomSz}, em)
-	case "dmdc":
-		pol = lsq.NewDMDC(lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize), em)
-	case "dmdc-local":
-		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
-		cfg.Local = true
-		pol = lsq.NewDMDC(cfg, em)
-	case "dmdc-queue":
-		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
-		cfg.TableSize = 0
-		cfg.QueueSize = *queue
-		pol = lsq.NewDMDC(cfg, em)
-	case "agetable":
-		pol = lsq.NewAgeTable(lsq.AgeTableConfig{TableSize: m.CheckTable, LQSize: m.ROBSize}, em)
-	case "value":
-		pol = lsq.NewValueBased(lsq.ValueBasedConfig{LoadCap: m.ROBSize}, em)
-	case "value-svw":
-		pol = lsq.NewValueBased(lsq.ValueBasedConfig{SVW: true, SVWSize: m.CheckTable, LoadCap: m.ROBSize}, em)
-	default:
-		fatal(fmt.Errorf("unknown policy %q", *policy))
+	pol, err := newPolicy(*policy, m, em, *queue, *bloomSz)
+	if err != nil {
+		fatal(err)
 	}
 
 	var opts []core.Option
@@ -111,8 +96,35 @@ func main() {
 	if *ptTo > *ptFrom {
 		opts = append(opts, core.WithPipelineTrace(os.Stderr, *ptFrom, *ptTo))
 	}
-	sim := core.NewWithWorkload(m, workload, pol, em, opts...)
-	r := sim.Run(*insts)
+	if *oracle {
+		ref, err := makeWorkload()
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, core.WithOracle(ref))
+	}
+	if *faultsFl != "" {
+		spec, err := soundness.ParseFaultSpec(*faultsFl)
+		if err != nil {
+			fatal(err)
+		}
+		opts = append(opts, core.WithFaults(spec))
+	}
+	if *wdCycles > 0 {
+		opts = append(opts, core.WithWatchdog(*wdCycles))
+	}
+	sim, err := core.NewWithWorkload(m, workload, pol, em, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	r, err := sim.Run(*insts)
+	if err != nil {
+		var se *soundness.SoundnessError
+		if errors.As(err, &se) {
+			fmt.Fprintln(os.Stderr, "dmdcsim: SOUNDNESS VIOLATION")
+		}
+		fatal(err)
+	}
 
 	fmt.Println(r)
 	fmt.Printf("IPC           %8.3f\n", r.IPC())
@@ -122,11 +134,55 @@ func main() {
 		r.Stats.Get("core_replays_total")/float64(r.Insts)*1e6)
 	fmt.Printf("LQ energy     %8.1f (%.2f%% of total)\n",
 		r.Energy.LQEnergy(), 100*r.Energy.LQEnergy()/r.Energy.Total())
+	if *oracle {
+		fmt.Printf("oracle        %8.0f commits verified, zero divergences\n",
+			r.Stats.Get("oracle_checked_insts"))
+	}
 	fmt.Println("\nEnergy breakdown:")
 	fmt.Println(r.Energy.String())
 	if *showAll {
 		fmt.Println("All statistics:")
 		fmt.Println(r.Stats.String())
+	}
+}
+
+// newPolicy builds the selected load-queue policy. The "unsound" choice
+// wraps the CAM baseline in a replay-suppressing shim — a deliberately
+// broken policy used to demonstrate the -oracle flag catching real
+// memory-ordering violations (pair it with -faults storedelay=40@3).
+func newPolicy(name string, m config.Machine, em *energy.Model, queue, bloomSz int) (lsq.Policy, error) {
+	switch name {
+	case "cam":
+		return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize}, em)
+	case "yla":
+		return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterYLA, YLARegs: 8}, em)
+	case "bloom":
+		return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterBloom, BloomSize: bloomSz}, em)
+	case "dmdc":
+		return lsq.NewDMDC(lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize), em)
+	case "dmdc-local":
+		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
+		cfg.Local = true
+		return lsq.NewDMDC(cfg, em)
+	case "dmdc-queue":
+		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
+		cfg.TableSize = 0
+		cfg.QueueSize = queue
+		return lsq.NewDMDC(cfg, em)
+	case "agetable":
+		return lsq.NewAgeTable(lsq.AgeTableConfig{TableSize: m.CheckTable, LQSize: m.ROBSize}, em)
+	case "value":
+		return lsq.NewValueBased(lsq.ValueBasedConfig{LoadCap: m.ROBSize}, em)
+	case "value-svw":
+		return lsq.NewValueBased(lsq.ValueBasedConfig{SVW: true, SVWSize: m.CheckTable, LoadCap: m.ROBSize}, em)
+	case "unsound":
+		inner, err := lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize}, em)
+		if err != nil {
+			return nil, err
+		}
+		return soundness.NewUnsound(inner), nil
+	default:
+		return nil, fmt.Errorf("unknown policy %q", name)
 	}
 }
 

@@ -24,6 +24,7 @@ import (
 
 	"dmdc/internal/experiments"
 	"dmdc/internal/resultcache"
+	"dmdc/internal/soundness"
 )
 
 func main() {
@@ -38,6 +39,9 @@ func main() {
 		csvKeys    = flag.Bool("csvkeys", false, "list valid -csv run keys and exit")
 		cacheDir   = flag.String("cache-dir", os.Getenv("DMDC_CACHE"), "persistent result cache directory (default $DMDC_CACHE; empty disables)")
 		cacheClear = flag.Bool("cache-clear", false, "clear the result cache and exit")
+		sound      = flag.Bool("soundness", false, "verify every commit of every run against a lockstep in-order oracle (bypasses the cache)")
+		faultsFl   = flag.String("faults", "", "inject a deterministic fault campaign into every run, e.g. invburst=8@50,storedelay=40@7,spurious=97")
+		wdCycles   = flag.Uint64("watchdog-cycles", 0, "fail a run when no instruction commits for this many cycles (0 = default budget)")
 	)
 	flag.Parse()
 
@@ -56,7 +60,20 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Insts: *insts, Parallelism: *par, CacheDir: *cacheDir}
+	opts := experiments.Options{
+		Insts:          *insts,
+		Parallelism:    *par,
+		CacheDir:       *cacheDir,
+		Soundness:      *sound,
+		WatchdogCycles: *wdCycles,
+	}
+	if *faultsFl != "" {
+		spec, err := soundness.ParseFaultSpec(*faultsFl)
+		if err != nil {
+			die(err)
+		}
+		opts.Faults = spec
+	}
 	if *benches != "" {
 		bs, err := experiments.ParseBenchmarks(*benches)
 		if err != nil {

@@ -28,6 +28,7 @@ import (
 	"dmdc/internal/energy"
 	"dmdc/internal/experiments"
 	"dmdc/internal/lsq"
+	"dmdc/internal/soundness"
 	"dmdc/internal/trace"
 )
 
@@ -105,6 +106,22 @@ func (p PolicyKind) String() string {
 // SimOption forwards core options (e.g. WithInvalidations).
 type SimOption = core.Option
 
+// FaultSpec describes a deterministic microarchitectural fault-injection
+// campaign (see WithFaults and ParseFaultSpec).
+type FaultSpec = soundness.FaultSpec
+
+// SoundnessError reports the first architectural divergence caught by the
+// lockstep oracle (see SimulateVerified).
+type SoundnessError = soundness.SoundnessError
+
+// WatchdogError reports a forward-progress stall, with a pipeline state
+// dump (see WithWatchdog).
+type WatchdogError = soundness.WatchdogError
+
+// ParseFaultSpec parses the command-line fault-campaign syntax, e.g.
+// "invburst=8@50,storedelay=40@7,alias=4096,spurious=97".
+func ParseFaultSpec(s string) (FaultSpec, error) { return soundness.ParseFaultSpec(s) }
+
 // WithInvalidations injects external invalidations at the given rate per
 // 1000 cycles (the paper's Table 6 methodology).
 func WithInvalidations(ratePer1000 float64) SimOption {
@@ -115,37 +132,75 @@ func WithInvalidations(ratePer1000 float64) SimOption {
 // than the oldest in-flight store skip the associative SQ search.
 func WithSQFilter() SimOption { return core.WithSQFilter() }
 
+// WithFaults enables the deterministic fault-injection campaign described
+// by spec. Faults perturb timing and checking state, never architectural
+// results, so a faulted SimulateVerified run must still verify cleanly.
+func WithFaults(spec FaultSpec) SimOption { return core.WithFaults(spec) }
+
+// WithWatchdog fails the run with a *WatchdogError (including a pipeline
+// state dump) when no instruction commits for budget cycles.
+func WithWatchdog(budget uint64) SimOption { return core.WithWatchdog(budget) }
+
+// WithInvariantChecking sweeps the pipeline's structural invariants every
+// n cycles, failing the run with a *SoundnessError on the first violation.
+func WithInvariantChecking(n uint64) SimOption { return core.WithInvariantChecking(n) }
+
+// newPolicy builds the load-queue policy for one simulation.
+func newPolicy(m Machine, kind PolicyKind, em *energy.Model) (lsq.Policy, error) {
+	switch kind {
+	case PolicyBaseline:
+		return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize}, em)
+	case PolicyYLA:
+		return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterYLA, YLARegs: 8}, em)
+	case PolicyDMDC:
+		return lsq.NewDMDC(lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize), em)
+	case PolicyDMDCLocal:
+		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
+		cfg.Local = true
+		return lsq.NewDMDC(cfg, em)
+	case PolicyAgeTable:
+		return lsq.NewAgeTable(lsq.AgeTableConfig{TableSize: m.CheckTable, LQSize: m.ROBSize}, em)
+	case PolicyValueBased:
+		return lsq.NewValueBased(lsq.ValueBasedConfig{LoadCap: m.ROBSize}, em)
+	case PolicyValueSVW:
+		return lsq.NewValueBased(lsq.ValueBasedConfig{SVW: true, SVWSize: m.CheckTable, LoadCap: m.ROBSize}, em)
+	default:
+		return nil, fmt.Errorf("dmdc: unknown policy %v", kind)
+	}
+}
+
 // Simulate runs one benchmark under one policy for the given number of
 // committed instructions and returns timing, energy, and statistics.
 func Simulate(m Machine, benchmark string, kind PolicyKind, insts uint64, opts ...SimOption) (*Result, error) {
+	return simulate(m, benchmark, kind, insts, false, opts)
+}
+
+// SimulateVerified is Simulate with the lockstep architectural oracle
+// attached: every commit is checked against an independent in-order model
+// and the run fails with a *SoundnessError at the first divergence.
+func SimulateVerified(m Machine, benchmark string, kind PolicyKind, insts uint64, opts ...SimOption) (*Result, error) {
+	return simulate(m, benchmark, kind, insts, true, opts)
+}
+
+func simulate(m Machine, benchmark string, kind PolicyKind, insts uint64, verify bool, opts []SimOption) (*Result, error) {
 	prof, err := trace.ByName(benchmark)
 	if err != nil {
 		return nil, err
 	}
 	em := energy.NewModel(m.CoreSize())
-	var pol lsq.Policy
-	switch kind {
-	case PolicyBaseline:
-		pol = lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize}, em)
-	case PolicyYLA:
-		pol = lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterYLA, YLARegs: 8}, em)
-	case PolicyDMDC:
-		pol = lsq.NewDMDC(lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize), em)
-	case PolicyDMDCLocal:
-		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
-		cfg.Local = true
-		pol = lsq.NewDMDC(cfg, em)
-	case PolicyAgeTable:
-		pol = lsq.NewAgeTable(lsq.AgeTableConfig{TableSize: m.CheckTable, LQSize: m.ROBSize}, em)
-	case PolicyValueBased:
-		pol = lsq.NewValueBased(lsq.ValueBasedConfig{LoadCap: m.ROBSize}, em)
-	case PolicyValueSVW:
-		pol = lsq.NewValueBased(lsq.ValueBasedConfig{SVW: true, SVWSize: m.CheckTable, LoadCap: m.ROBSize}, em)
-	default:
-		return nil, fmt.Errorf("dmdc: unknown policy %v", kind)
+	pol, err := newPolicy(m, kind, em)
+	if err != nil {
+		return nil, err
 	}
-	sim := core.New(m, prof, pol, em, opts...)
-	return sim.Run(insts), nil
+	if verify {
+		opts = append(opts[:len(opts):len(opts)],
+			core.WithOracle(core.FromGenerator(trace.NewGenerator(prof))))
+	}
+	sim, err := core.New(m, prof, pol, em, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sim.Run(insts)
 }
 
 // NewSuite builds the experiment suite that regenerates the paper's

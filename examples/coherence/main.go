@@ -32,8 +32,8 @@ func main() {
 
 	// Baseline (no coherence modeled, as in the paper) for slowdown.
 	emB := energy.NewModel(machine.CoreSize())
-	base := core.New(machine, prof,
-		lsq.NewCAM(lsq.CAMConfig{LQSize: machine.LQSize}, emB), emB).Run(insts)
+	base := core.MustSim(core.New(machine, prof,
+		lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: machine.LQSize}, emB)), emB)).MustRun(insts)
 
 	fmt.Printf("benchmark %s on %s, %d insts — DMDC under invalidation traffic\n\n",
 		bench, machine.Name, insts)
@@ -42,12 +42,12 @@ func main() {
 	var ref float64
 	for _, rate := range []float64{0, 1, 10, 100} {
 		em := energy.NewModel(machine.CoreSize())
-		pol := lsq.NewDMDC(lsq.DefaultDMDCConfig(machine.CheckTable, machine.ROBSize), em)
+		pol := lsq.Must(lsq.NewDMDC(lsq.DefaultDMDCConfig(machine.CheckTable, machine.ROBSize), em))
 		var opts []core.Option
 		if rate > 0 {
 			opts = append(opts, core.WithInvalidations(rate))
 		}
-		r := core.New(machine, prof, pol, em, opts...).Run(insts)
+		r := core.MustSim(core.New(machine, prof, pol, em, opts...)).MustRun(insts)
 		chk := 100 * r.Stats.Get("checking_cycles") / r.Stats.Get("policy_cycles")
 		falseRepl := (r.Stats.Get("core_replays_total") -
 			r.Stats.Get("core_replay_true_violation")) / float64(r.Insts) * 1e6

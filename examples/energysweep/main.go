@@ -33,11 +33,11 @@ func main() {
 				log.Fatal(err)
 			}
 			emB := energy.NewModel(machine.CoreSize())
-			base := core.New(machine, prof,
-				lsq.NewCAM(lsq.CAMConfig{LQSize: machine.LQSize}, emB), emB).Run(insts)
+			base := core.MustSim(core.New(machine, prof,
+				lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: machine.LQSize}, emB)), emB)).MustRun(insts)
 			emD := energy.NewModel(machine.CoreSize())
-			dmdc := core.New(machine, prof,
-				lsq.NewDMDC(lsq.DefaultDMDCConfig(machine.CheckTable, machine.ROBSize), emD), emD).Run(insts)
+			dmdc := core.MustSim(core.New(machine, prof,
+				lsq.Must(lsq.NewDMDC(lsq.DefaultDMDCConfig(machine.CheckTable, machine.ROBSize), emD)), emD)).MustRun(insts)
 
 			fmt.Printf("%-10s %-8s %10.2f %10.2f %12.1f %12.1f %10.2f\n",
 				machine.Name, bench, base.IPC(), dmdc.IPC(),

@@ -48,10 +48,10 @@ func main() {
 	}
 
 	em := energy.NewModel(machine.CoreSize())
-	sim := core.New(machine, prof,
-		lsq.NewCAM(lsq.CAMConfig{LQSize: machine.LQSize}, em), em,
-		core.WithMonitors(mons...))
-	r := sim.Run(1_000_000)
+	sim := core.MustSim(core.New(machine, prof,
+		lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: machine.LQSize}, em)), em,
+		core.WithMonitors(mons...)))
+	r := sim.MustRun(1_000_000)
 
 	fmt.Printf("benchmark %s (%s), %d insts, IPC %.2f\n\n", prof.Name, prof.Class, r.Insts, r.IPC())
 	fmt.Println("YLA registers       quad-word    cache-line")

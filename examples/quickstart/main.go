@@ -26,15 +26,15 @@ func main() {
 
 	// Conventional: a fully associative LQ searched by every store.
 	emBase := energy.NewModel(machine.CoreSize())
-	baseline := core.New(machine, prof,
-		lsq.NewCAM(lsq.CAMConfig{LQSize: machine.LQSize}, emBase), emBase)
-	rBase := baseline.Run(insts)
+	baseline := core.MustSim(core.New(machine, prof,
+		lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: machine.LQSize}, emBase)), emBase))
+	rBase := baseline.MustRun(insts)
 
 	// DMDC: YLA filtering + delayed checking through a 2K-entry hash table.
 	emDMDC := energy.NewModel(machine.CoreSize())
-	dmdc := core.New(machine, prof,
-		lsq.NewDMDC(lsq.DefaultDMDCConfig(machine.CheckTable, machine.ROBSize), emDMDC), emDMDC)
-	rDMDC := dmdc.Run(insts)
+	dmdc := core.MustSim(core.New(machine, prof,
+		lsq.Must(lsq.NewDMDC(lsq.DefaultDMDCConfig(machine.CheckTable, machine.ROBSize), emDMDC)), emDMDC))
+	rDMDC := dmdc.MustRun(insts)
 
 	fmt.Printf("benchmark %s on %s, %d instructions\n\n", prof.Name, machine.Name, insts)
 	fmt.Printf("%-22s %14s %14s\n", "", "conventional", "DMDC")

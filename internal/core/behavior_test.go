@@ -55,16 +55,16 @@ func runSynthetic(t *testing.T, prof trace.Profile, mkPol func(config.Machine, *
 	t.Helper()
 	cfg := config.Config2()
 	em := energy.NewModel(cfg.CoreSize())
-	s := New(cfg, prof, mkPol(cfg, em), em)
-	return s.Run(n)
+	s := MustSim(New(cfg, prof, mkPol(cfg, em), em))
+	return s.MustRun(n)
 }
 
 func camFactory(cfg config.Machine, em *energy.Model) lsq.Policy {
-	return lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em)
+	return lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em))
 }
 
 func dmdcFactory(cfg config.Machine, em *energy.Model) lsq.Policy {
-	return lsq.NewDMDC(lsq.DefaultDMDCConfig(cfg.CheckTable, cfg.ROBSize), em)
+	return lsq.Must(lsq.NewDMDC(lsq.DefaultDMDCConfig(cfg.CheckTable, cfg.ROBSize), em))
 }
 
 // A store-free workload must never search the LQ or open checking windows.
@@ -116,13 +116,13 @@ func TestHeavyAliasing(t *testing.T) {
 	em := energy.NewModel(cfg.CoreSize())
 	ref := trace.NewGenerator(prof)
 	var mismatches int
-	s := New(cfg, prof, camFactory(cfg, em), em, WithCommitHook(func(in isa.Inst) {
+	s := MustSim(New(cfg, prof, camFactory(cfg, em), em, WithCommitHook(func(in isa.Inst) {
 		want := ref.Next()
 		if in.Seq != want.Seq {
 			mismatches++
 		}
-	}))
-	r := s.Run(30000)
+	})))
+	r := s.MustRun(30000)
 	if mismatches > 0 {
 		t.Fatalf("%d commits diverged under heavy aliasing", mismatches)
 	}
@@ -190,9 +190,9 @@ func TestSQFilterNeutrality(t *testing.T) {
 	prof := syntheticProfile("sqf", nil)
 	cfg := config.Config2()
 	em1 := energy.NewModel(cfg.CoreSize())
-	r1 := New(cfg, prof, camFactory(cfg, em1), em1).Run(30000)
+	r1 := MustSim(New(cfg, prof, camFactory(cfg, em1), em1)).MustRun(30000)
 	em2 := energy.NewModel(cfg.CoreSize())
-	r2 := New(cfg, prof, camFactory(cfg, em2), em2, WithSQFilter()).Run(30000)
+	r2 := MustSim(New(cfg, prof, camFactory(cfg, em2), em2, WithSQFilter())).MustRun(30000)
 	if r1.Cycles != r2.Cycles {
 		t.Errorf("SQ filter changed timing: %d vs %d cycles", r1.Cycles, r2.Cycles)
 	}

@@ -6,6 +6,7 @@ import (
 	"dmdc/internal/energy"
 	"dmdc/internal/isa"
 	"dmdc/internal/lsq"
+	"dmdc/internal/soundness"
 )
 
 // commitStage retires completed instructions in program order, up to the
@@ -22,13 +23,35 @@ func (s *Sim) commitStage() {
 			// A wrong-path instruction can never reach the ROB head: the
 			// mispredicted branch ahead of it squashes at resolve, and
 			// branches resolve before they would commit.
-			panic("core: wrong-path instruction reached commit")
+			s.simErr = &soundness.SoundnessError{
+				Kind:   soundness.KindWrongPathCommit,
+				Age:    e.age,
+				PC:     e.inst.PC,
+				Seq:    e.inst.Seq,
+				Cycle:  s.cycle,
+				Commit: s.committed,
+				Got:    "wrong-path instruction at the ROB head: " + e.inst.String(),
+				Want:   "only correct-path instructions reach commit",
+				Events: s.ring.Snapshot(),
+			}
+			return
 		}
 		age := e.age
 		s.pol.InstCommit(age)
 		op := e.inst.Op
 		switch {
 		case op.IsLoad():
+			if s.faults.SpuriousEvery > 0 {
+				s.loadCommitAttempts++
+				if s.loadCommitAttempts%s.faults.SpuriousEvery == 0 {
+					// Injected fault: hit the load with a spurious replay at
+					// its commit attempt, exercising squash/refetch/re-check.
+					s.faultsInjected++
+					s.traceMark("FLT", fmt.Sprintf("spurious replay of load age=%d", age))
+					s.replay(&lsq.Replay{FromAge: age, Cause: lsq.CauseSpurious})
+					return
+				}
+			}
 			if r := s.pol.LoadCommit(e.mem); r != nil {
 				// Delayed check fired: the load must re-execute. Squash
 				// from the load itself and refetch; it does not commit.
@@ -48,6 +71,12 @@ func (s *Sim) commitStage() {
 			}
 			s.removeSQ(age)
 		}
+		if s.oracle != nil {
+			if err := s.oracle.Commit(e.inst, e.mem, age, s.cycle); err != nil {
+				s.simErr = err
+				return
+			}
+		}
 		// Release the physical register and retire the producer mapping.
 		if e.inst.HasDest() {
 			if isa.IsFPReg(e.inst.Dest) {
@@ -65,6 +94,7 @@ func (s *Sim) commitStage() {
 			s.commitHook(e.inst)
 		}
 		s.committed++
+		s.lastCommitCycle = s.cycle
 		s.headIdx = (s.headIdx + 1) % len(s.rob)
 		s.headAge++
 		s.count--
@@ -84,20 +114,62 @@ func (s *Sim) removeSQ(age uint64) {
 // replay performs a memory-order replay: all instructions from the replay
 // point (inclusive) are squashed, correct-path ones are saved for refetch,
 // and the front end restarts after the recovery penalty.
+//
+// Commit-time replays always name the load at the ROB head, so nothing
+// older than the replay point can be mispredicted-and-unresolved. But
+// resolve-time replays (CAM, AgeTable) can fire on a wrong-path store and
+// name a replay point past a still-unresolved mispredicted branch. Every
+// instruction from that point on is wrong-path; squashing is fine, but the
+// front end must keep fetching the wrong path — resuming the correct-path
+// generator here would burn correct-path instructions that branch recovery
+// later discards, silently skipping them from the committed stream.
 func (s *Sim) replay(r *lsq.Replay) {
 	s.replayCounts[r.Cause]++
 	s.traceMark("RPL", fmt.Sprintf("replay from age=%d cause=%v", r.FromAge, r.Cause))
+	if s.unresolvedMispredictBefore(r.FromAge) {
+		// Wrong-path-only replay: discard the squashed suffix (none of it
+		// can be refetched from the correct-path stream) and leave the
+		// wrong-path fetch state alone; the branch squashes it all anyway
+		// when it resolves. The recovery penalty is still paid.
+		s.replaysWrongPath++
+		s.squashAfter(r.FromAge-1, false)
+		s.pol.Recover(r.FromAge - 1)
+		for _, m := range s.monitors {
+			m.Recover(r.FromAge - 1)
+		}
+		s.fetchResume = s.cycle + uint64(s.cfg.MispredictPenalty)
+		return
+	}
 	s.squashAfter(r.FromAge-1, true)
 	s.pol.Recover(r.FromAge - 1)
 	for _, m := range s.monitors {
 		m.Recover(r.FromAge - 1)
 	}
 	// Any active wrong path belonged to a branch younger than the replay
-	// point (older mispredicted branches cannot exist: the replayed load
-	// is on the correct path); it was squashed with everything else.
+	// point (the replayed instruction is on the correct path); it was
+	// squashed with everything else.
 	s.wpActive = false
 	s.wpStream = nil
 	s.fetchResume = s.cycle + uint64(s.cfg.MispredictPenalty)
+}
+
+// unresolvedMispredictBefore reports whether a correct-path mispredicted
+// branch older than age is still unresolved in the ROB. When one exists,
+// every in-flight instruction at age or younger is on its wrong path.
+func (s *Sim) unresolvedMispredictBefore(age uint64) bool {
+	if !s.wpActive {
+		return false
+	}
+	for k := 0; k < s.count; k++ {
+		e := &s.rob[(s.headIdx+k)%len(s.rob)]
+		if e.age >= age {
+			break // ROB is age-ordered; nothing older remains
+		}
+		if e.predicted && e.mispredicted && e.state != stCompleted {
+			return true
+		}
+	}
+	return false
 }
 
 // squashAfter removes every ROB entry younger than keepAge. When save is
@@ -179,6 +251,10 @@ func (s *Sim) squashAfter(keepAge uint64, save bool) {
 	}
 	s.dataWait = dw
 	s.rebuildProducers()
+	s.traceMark("SQH", fmt.Sprintf("squash from age=%d", from))
+	if s.oracle != nil {
+		s.oracle.Squashed(from)
+	}
 	s.pol.Squash(from)
 	for _, m := range s.monitors {
 		m.Squash(from)

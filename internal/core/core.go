@@ -22,6 +22,7 @@ import (
 	"dmdc/internal/energy"
 	"dmdc/internal/isa"
 	"dmdc/internal/lsq"
+	"dmdc/internal/soundness"
 	"dmdc/internal/stats"
 	"dmdc/internal/trace"
 )
@@ -64,6 +65,7 @@ type entry struct {
 // LQ policies).
 type sqEntry struct {
 	age          uint64
+	seq          uint64 // trace sequence number (forwarding identity)
 	addr         uint64
 	size         uint8
 	addrResolved bool
@@ -159,10 +161,26 @@ type Sim struct {
 	sqSearches       uint64
 	sqSearchFiltered uint64
 
+	// Soundness layer (see soundness.go and internal/soundness).
+	oracleRef          InstSource
+	oracle             *soundness.Oracle
+	faults             soundness.FaultSpec
+	ring               *soundness.EventRing
+	ringWanted         bool
+	watchdogBudget     uint64
+	invariantEvery     uint64
+	lastCommitCycle    uint64
+	simErr             error
+	storeSeen          uint64 // dispatched stores (store-delay fault counter)
+	markedWP           bool   // the markwp corruption fired
+	loadCommitAttempts uint64 // load commit attempts (spurious-replay counter)
+	faultsInjected     uint64
+
 	// Statistics.
 	committed            uint64
 	cstats               *stats.Set
 	replayCounts         [lsq.NumCauses]uint64
+	replaysWrongPath     uint64 // replays landing entirely on the wrong path
 	loadRejections       uint64
 	forwards             uint64
 	wrongPathFetched     uint64
@@ -196,44 +214,48 @@ const wheelSize = 512
 // New builds a simulator running the built-in synthetic benchmark for
 // prof. The policy and energy model are supplied by the caller so
 // experiments can wire any combination (pass energy.Disabled() to skip
-// accounting). New panics on invalid configuration — experiment inputs
-// are static.
-func New(cfg config.Machine, prof trace.Profile, pol lsq.Policy, em *energy.Model, opts ...Option) *Sim {
+// accounting). Errors report invalid machine configurations or fault
+// specs; MustSim unwraps the pair where inputs are static.
+func New(cfg config.Machine, prof trace.Profile, pol lsq.Policy, em *energy.Model, opts ...Option) (*Sim, error) {
 	return NewWithWorkload(cfg, FromGenerator(trace.NewGenerator(prof)), pol, em, opts...)
 }
 
 // NewWithWorkload builds a simulator over any Workload — a recorded trace
 // file, a hand-written stream, or the synthetic generator.
-func NewWithWorkload(cfg config.Machine, wl Workload, pol lsq.Policy, em *energy.Model, opts ...Option) *Sim {
+func NewWithWorkload(cfg config.Machine, wl Workload, pol lsq.Policy, em *energy.Model, opts ...Option) (*Sim, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, fmt.Errorf("core: invalid machine config: %w", err)
 	}
 	hier, err := cache.NewHierarchy(cfg.Memory)
 	if err != nil {
-		panic(err)
+		return nil, fmt.Errorf("core: %w", err)
 	}
 	s := &Sim{
-		cfg:     cfg,
-		wl:      wl,
-		pol:     pol,
-		em:      em,
-		bp:      bpred.New(cfg.BPred),
-		mem:     hier,
-		rob:     make([]entry, cfg.ROBSize),
-		wheel:   make([][]wheelEv, wheelSize),
-		nextAge: 1,
-		headAge: 1,
-		freeInt: cfg.IntRegs - isa.NumIntRegs,
-		freeFP:  cfg.FPRegs - isa.NumFPRegs,
-		invRng:  rand.New(rand.NewSource(wl.Meta().Seed ^ 0x1234_5678)),
-		cstats:  stats.NewSet(),
+		cfg:            cfg,
+		wl:             wl,
+		pol:            pol,
+		em:             em,
+		bp:             bpred.New(cfg.BPred),
+		mem:            hier,
+		rob:            make([]entry, cfg.ROBSize),
+		wheel:          make([][]wheelEv, wheelSize),
+		nextAge:        1,
+		headAge:        1,
+		freeInt:        cfg.IntRegs - isa.NumIntRegs,
+		freeFP:         cfg.FPRegs - isa.NumFPRegs,
+		invRng:         rand.New(rand.NewSource(wl.Meta().Seed ^ 0x1234_5678)),
+		cstats:         stats.NewSet(),
+		watchdogBudget: DefaultWatchdogBudget,
 	}
-	s.lastGenPC = s.wl.EntryPC()
 	s.initCosts()
 	for _, opt := range opts {
 		opt(s)
 	}
-	return s
+	if err := s.finishSoundness(); err != nil {
+		return nil, err
+	}
+	s.lastGenPC = s.wl.EntryPC()
+	return s, nil
 }
 
 // initCosts precomputes geometry-scaled per-event energies.
@@ -311,18 +333,49 @@ func (r *Result) String() string {
 }
 
 // Run simulates until nInsts correct-path instructions have committed and
-// returns the collected results.
-func (s *Sim) Run(nInsts uint64) *Result {
+// returns the collected results. It fails with a *soundness.SoundnessError
+// when a soundness check (the oracle, the wrong-path-commit guard, a
+// periodic invariant sweep) detects a divergence, and with a
+// *soundness.WatchdogError when no instruction commits for the watchdog
+// budget (default DefaultWatchdogBudget; see WithWatchdog) — the error
+// carries a full pipeline-state dump instead of crashing the process.
+func (s *Sim) Run(nInsts uint64) (*Result, error) {
 	target := s.committed + nInsts
-	guard := s.cycle + nInsts*200 + 1_000_000 // liveness backstop
 	for s.committed < target {
 		s.step()
-		if s.cycle > guard {
-			panic(fmt.Sprintf("core: no forward progress: %d/%d insts after %d cycles",
-				s.committed, target, s.cycle))
+		if s.simErr != nil {
+			return nil, s.simErr
+		}
+		if s.invariantEvery > 0 && s.cycle%s.invariantEvery == 0 {
+			if err := s.CheckInvariants(); err != nil {
+				return nil, &soundness.SoundnessError{
+					Kind:   soundness.KindInvariant,
+					Cycle:  s.cycle,
+					Commit: s.committed,
+					Got:    err.Error(),
+					Want:   "pipeline invariants hold",
+					Events: s.ring.Snapshot(),
+				}
+			}
+		}
+		if s.cycle-s.lastCommitCycle > s.watchdogBudget {
+			return nil, &soundness.WatchdogError{
+				Budget: s.watchdogBudget,
+				Cycle:  s.cycle,
+				Dump:   s.stateDump(),
+			}
 		}
 	}
-	return s.result()
+	return s.result(), nil
+}
+
+// MustRun is Run for static setups (tests, examples): it panics on error.
+func (s *Sim) MustRun(nInsts uint64) *Result {
+	r, err := s.Run(nInsts)
+	if err != nil {
+		panic(err)
+	}
+	return r
 }
 
 // step advances one cycle through all pipeline stages.
@@ -336,6 +389,7 @@ func (s *Sim) step() {
 	s.dispatchStage()
 	s.fetchStage()
 	s.injectInvalidations()
+	s.injectFaultBursts()
 	s.pol.Tick()
 	s.em.Tick()
 	s.cycle++
@@ -375,6 +429,14 @@ func (s *Sim) result() *Result {
 	set.Put("forwards", float64(s.forwards))
 	set.Put("wrong_path_fetched", float64(s.wrongPathFetched))
 	set.Put("inv_injected", float64(s.invInjected))
+	if !s.faults.Zero() {
+		set.Put("faults_injected", float64(s.faultsInjected))
+	}
+	if s.oracle != nil {
+		insts, loads := s.oracle.Checked()
+		set.Put("oracle_checked_insts", float64(insts))
+		set.Put("oracle_checked_loads", float64(loads))
+	}
 	set.Put("l1d_accesses", float64(s.mem.L1D.Accesses))
 	set.Put("l1d_misses", float64(s.mem.L1D.Misses))
 	set.Put("l1i_accesses", float64(s.mem.L1I.Accesses))
@@ -390,6 +452,9 @@ func (s *Sim) result() *Result {
 		}
 	}
 	set.Put("core_replays_total", float64(totalReplays))
+	if s.replaysWrongPath > 0 {
+		set.Put("core_replays_wrongpath", float64(s.replaysWrongPath))
+	}
 	s.pol.Report(set)
 	for _, m := range s.monitors {
 		m.Report(set)

@@ -18,8 +18,8 @@ func camSim(t *testing.T, bench string, opts ...Option) *Sim {
 		t.Fatal(err)
 	}
 	em := energy.NewModel(cfg.CoreSize())
-	pol := lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em)
-	return New(cfg, prof, pol, em, opts...)
+	pol := lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em))
+	return MustSim(New(cfg, prof, pol, em, opts...))
 }
 
 func dmdcSim(t *testing.T, bench string, local bool, opts ...Option) *Sim {
@@ -32,13 +32,13 @@ func dmdcSim(t *testing.T, bench string, local bool, opts ...Option) *Sim {
 	em := energy.NewModel(cfg.CoreSize())
 	dcfg := lsq.DefaultDMDCConfig(cfg.CheckTable, cfg.ROBSize)
 	dcfg.Local = local
-	pol := lsq.NewDMDC(dcfg, em)
-	return New(cfg, prof, pol, em, opts...)
+	pol := lsq.Must(lsq.NewDMDC(dcfg, em))
+	return MustSim(New(cfg, prof, pol, em, opts...))
 }
 
 func TestBaselineRuns(t *testing.T) {
 	s := camSim(t, "gzip")
-	r := s.Run(20000)
+	r := s.MustRun(20000)
 	// Commit is up to 8-wide, so the run may overshoot by a few.
 	if r.Insts < 20000 || r.Insts > 20008 {
 		t.Fatalf("committed %d, want ≈20000", r.Insts)
@@ -73,7 +73,7 @@ func committedStreamMatches(t *testing.T, s *Sim, bench string, n uint64) {
 		}
 		idx++
 	}
-	s.Run(n)
+	s.MustRun(n)
 	if mismatches > 0 {
 		t.Fatalf("%d committed instructions diverged from the trace", mismatches)
 	}
@@ -104,8 +104,8 @@ func TestDMDCWithInvalidationsCommitsExactTrace(t *testing.T) {
 }
 
 func TestDeterminism(t *testing.T) {
-	r1 := camSim(t, "parser").Run(15000)
-	r2 := camSim(t, "parser").Run(15000)
+	r1 := camSim(t, "parser").MustRun(15000)
+	r2 := camSim(t, "parser").MustRun(15000)
 	if r1.Cycles != r2.Cycles {
 		t.Errorf("cycles differ: %d vs %d", r1.Cycles, r2.Cycles)
 	}
@@ -116,7 +116,7 @@ func TestDeterminism(t *testing.T) {
 
 func TestMispredictionsHappenAndRecover(t *testing.T) {
 	s := camSim(t, "gcc") // branchy benchmark
-	r := s.Run(30000)
+	r := s.MustRun(30000)
 	if r.Stats.Get("mispredict_recoveries") == 0 {
 		t.Error("no mispredictions in a branchy benchmark — wrong-path model inert")
 	}
@@ -127,7 +127,7 @@ func TestMispredictionsHappenAndRecover(t *testing.T) {
 
 func TestForwardingAndRejections(t *testing.T) {
 	s := camSim(t, "vortex") // high alias rate
-	r := s.Run(50000)
+	r := s.MustRun(50000)
 	if r.Stats.Get("forwards") == 0 {
 		t.Error("no store-to-load forwarding in a high-alias benchmark")
 	}
@@ -139,7 +139,7 @@ func TestMonitorsObserve(t *testing.T) {
 	bf := lsq.NewBloomMonitor(256)
 	sq := lsq.NewStoreAgeMonitor()
 	s := camSim(t, "gzip", WithMonitors(y1, y8, bf, sq))
-	r := s.Run(30000)
+	r := s.MustRun(30000)
 	if r.Stats.Get("yla1_qw_searches") == 0 {
 		t.Fatal("YLA monitor saw no stores")
 	}
@@ -161,7 +161,7 @@ func TestMonitorsObserve(t *testing.T) {
 
 func TestEnergyBreakdownSane(t *testing.T) {
 	s := camSim(t, "gzip")
-	r := s.Run(30000)
+	r := s.MustRun(30000)
 	total := r.Energy.Total()
 	lq := r.Energy.LQEnergy()
 	if lq <= 0 {
@@ -178,7 +178,7 @@ func TestEnergyBreakdownSane(t *testing.T) {
 
 func TestDMDCReplaysAreRare(t *testing.T) {
 	s := dmdcSim(t, "gcc", false)
-	r := s.Run(100000)
+	r := s.MustRun(100000)
 	perM := r.Stats.Get("core_replays_total") / float64(r.Insts) * 1e6
 	if perM > 5000 {
 		t.Errorf("replay rate %.0f per Minst is far above the paper's ~168", perM)
@@ -187,7 +187,7 @@ func TestDMDCReplaysAreRare(t *testing.T) {
 
 func TestDMDCChecksWindows(t *testing.T) {
 	s := dmdcSim(t, "gcc", false)
-	r := s.Run(100000)
+	r := s.MustRun(100000)
 	if r.Stats.Get("windows") == 0 {
 		t.Fatal("no checking windows opened")
 	}
@@ -207,7 +207,7 @@ func TestDMDCChecksWindows(t *testing.T) {
 
 func TestInvalidationInjection(t *testing.T) {
 	s := dmdcSim(t, "gcc", false, WithInvalidations(100))
-	r := s.Run(30000)
+	r := s.MustRun(30000)
 	inj := r.Stats.Get("inv_injected")
 	if inj == 0 {
 		t.Fatal("no invalidations injected at rate 100/1000")
@@ -219,8 +219,8 @@ func TestInvalidationInjection(t *testing.T) {
 }
 
 func TestDMDCEnergyFarBelowBaseline(t *testing.T) {
-	base := camSim(t, "gzip").Run(50000)
-	dm := dmdcSim(t, "gzip", false).Run(50000)
+	base := camSim(t, "gzip").MustRun(50000)
+	dm := dmdcSim(t, "gzip", false).MustRun(50000)
 	sav := energy.Savings(base.Energy.LQEnergy(), dm.Energy.LQEnergy())
 	if sav < 0.70 {
 		t.Errorf("DMDC LQ-functionality energy savings = %.2f, want ≥ 0.70 (paper ~0.95)", sav)
@@ -233,8 +233,8 @@ func TestDMDCEnergyFarBelowBaseline(t *testing.T) {
 
 func TestRunIsResumable(t *testing.T) {
 	s := camSim(t, "gzip")
-	r1 := s.Run(5000)
-	r2 := s.Run(5000)
+	r1 := s.MustRun(5000)
+	r2 := s.MustRun(5000)
 	if r2.Insts < 10000 || r2.Insts > 10016 {
 		t.Errorf("cumulative insts = %d, want ≈10000", r2.Insts)
 	}
@@ -244,7 +244,7 @@ func TestRunIsResumable(t *testing.T) {
 }
 
 func TestResultString(t *testing.T) {
-	r := camSim(t, "gzip").Run(2000)
+	r := camSim(t, "gzip").MustRun(2000)
 	if r.String() == "" || r.Benchmark != "gzip" || r.Config != "config2" {
 		t.Errorf("result metadata wrong: %v", r)
 	}

@@ -185,9 +185,11 @@ func (s *Sim) issueLoad(e *entry) bool {
 	mem.Issued = true
 	mem.IssueCycle = s.cycle
 	mem.SafeAtIssue = !unresolved
+	mem.FwdSeq = 0
 	var lat int
 	if match != nil {
 		s.forwards++
+		mem.FwdSeq = match.seq
 		lat = s.cfg.Memory.L1D.Latency // forwarding takes an L1-hit-like time
 	} else {
 		s.em.Add(energy.CompL1D, s.costL1D)
@@ -200,6 +202,9 @@ func (s *Sim) issueLoad(e *entry) bool {
 	s.pol.LoadIssue(mem)
 	for _, m := range s.monitors {
 		m.LoadIssue(mem)
+	}
+	if s.oracle != nil {
+		s.oracle.LoadIssued(e.age, s.cycle)
 	}
 	return false
 }

@@ -35,7 +35,7 @@ func (s *Sim) fetchStage() {
 			break
 		}
 		s.fetchQ = append(s.fetchQ, fi)
-		if s.ptrace != nil {
+		if s.ptrace != nil || s.ring != nil {
 			wp := ""
 			if fi.wrongPath {
 				wp = "(wrong-path)"
@@ -213,7 +213,7 @@ func (s *Sim) insert(fi *fetchedInst) {
 			s.inflightLoads++
 			s.pol.LoadDispatch(e.mem)
 		} else {
-			s.sq = append(s.sq, sqEntry{age: age, addr: in.Addr, size: in.Size})
+			s.sq = append(s.sq, sqEntry{age: age, seq: in.Seq, addr: in.Addr, size: in.Size})
 			s.em.Add(energy.CompSQ, s.costSQWrite)
 			for _, m := range s.monitors {
 				m.StoreDispatch(e.mem)
@@ -235,4 +235,7 @@ func (s *Sim) insert(fi *fetchedInst) {
 		s.iqInt++
 	}
 	s.waiting = append(s.waiting, age)
+	if !s.faults.Zero() {
+		s.applyDispatchFaults(e)
+	}
 }

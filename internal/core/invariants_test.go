@@ -50,8 +50,8 @@ func TestInvariantsSmallConfig(t *testing.T) {
 		t.Fatal(err)
 	}
 	em := energy.NewModel(cfg.CoreSize())
-	pol := lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em)
-	s := New(cfg, prof, pol, em)
+	pol := lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em))
+	s := MustSim(New(cfg, prof, pol, em))
 	stepChecked(t, s, 20000, 32)
 }
 
@@ -62,8 +62,8 @@ func TestInvariantsLargeConfigYLA(t *testing.T) {
 		t.Fatal(err)
 	}
 	em := energy.NewModel(cfg.CoreSize())
-	pol := lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize, Filter: lsq.FilterYLA, YLARegs: 8}, em)
-	s := New(cfg, prof, pol, em)
+	pol := lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize, Filter: lsq.FilterYLA, YLARegs: 8}, em))
+	s := MustSim(New(cfg, prof, pol, em))
 	stepChecked(t, s, 20000, 64)
 }
 

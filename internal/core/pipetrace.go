@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"dmdc/internal/isa"
+	"dmdc/internal/soundness"
 )
 
 // pipeTrace emits one line per pipeline event for instructions in a
@@ -32,8 +33,13 @@ func (p *pipeTrace) tick(committed uint64) {
 	p.active = committed >= p.fromInst && committed < p.toInst
 }
 
-// event logs one pipeline event when the window is open.
+// event logs one pipeline event when the window is open, and records it in
+// the soundness event ring when one is attached. The ring exists only when
+// a soundness feature is active, so the hot path pays one nil check.
 func (s *Sim) traceEvent(kind string, age uint64, in *isa.Inst, extra string) {
+	if s.ring != nil {
+		s.ring.Record(soundness.Event{Cycle: s.cycle, Kind: kind, Age: age, Inst: in.String(), Extra: extra})
+	}
 	p := s.ptrace
 	if p == nil || !p.active {
 		return
@@ -46,6 +52,9 @@ func (s *Sim) traceEvent(kind string, age uint64, in *isa.Inst, extra string) {
 
 // traceMark logs a global event (recovery, replay) without an instruction.
 func (s *Sim) traceMark(kind string, detail string) {
+	if s.ring != nil {
+		s.ring.Record(soundness.Event{Cycle: s.cycle, Kind: kind, Extra: detail})
+	}
 	p := s.ptrace
 	if p == nil || !p.active {
 		return

@@ -9,7 +9,7 @@ import (
 func TestPipelineTraceWindow(t *testing.T) {
 	var buf bytes.Buffer
 	s := camSim(t, "gzip", WithPipelineTrace(&buf, 100, 140))
-	s.Run(2000)
+	s.MustRun(2000)
 	out := buf.String()
 	if out == "" {
 		t.Fatal("no trace output")
@@ -36,7 +36,7 @@ func TestPipelineTraceWindow(t *testing.T) {
 func TestPipelineTraceClosedWindowSilent(t *testing.T) {
 	var buf bytes.Buffer
 	s := camSim(t, "gzip", WithPipelineTrace(&buf, 1_000_000, 1_000_100))
-	s.Run(2000)
+	s.MustRun(2000)
 	if buf.Len() != 0 {
 		t.Errorf("trace emitted %d bytes outside its window", buf.Len())
 	}
@@ -46,7 +46,7 @@ func TestPipelineTraceReplayMark(t *testing.T) {
 	var buf bytes.Buffer
 	// DMDC on a high-alias benchmark over a wide window: replays occur.
 	s := dmdcSim(t, "vortex", false, WithPipelineTrace(&buf, 0, 200_000))
-	s.Run(150_000)
+	s.MustRun(150_000)
 	out := buf.String()
 	if !strings.Contains(out, "RPL") && !strings.Contains(out, "REC") {
 		t.Error("no replay or recovery marks in a long traced run")

@@ -11,7 +11,7 @@ import (
 // field experiments read — timing, energy breakdown, and the full ordered
 // stats set.
 func TestResultJSONRoundTrip(t *testing.T) {
-	r := dmdcSim(t, "gzip", false).Run(5000)
+	r := dmdcSim(t, "gzip", false).MustRun(5000)
 
 	b, err := json.Marshal(r)
 	if err != nil {

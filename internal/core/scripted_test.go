@@ -57,7 +57,7 @@ func (w *scriptedWorkload) Meta() WorkloadMeta {
 func scriptedSim(insts []isa.Inst, pol func(config.Machine, *energy.Model) lsq.Policy) *Sim {
 	cfg := config.Config2()
 	em := energy.NewModel(cfg.CoreSize())
-	return NewWithWorkload(cfg, newScripted(insts), pol(cfg, em), em)
+	return MustSim(NewWithWorkload(cfg, newScripted(insts), pol(cfg, em), em))
 }
 
 func nop(dest int16) isa.Inst {
@@ -83,7 +83,7 @@ func violationScript() []isa.Inst {
 
 func TestScriptedViolationBaseline(t *testing.T) {
 	s := scriptedSim(violationScript(), camFactory)
-	r := s.Run(2000)
+	r := s.MustRun(2000)
 	if got := r.Stats.Get("core_replay_true_violation"); got != 1 {
 		t.Errorf("true violations = %v, want exactly 1", got)
 	}
@@ -94,7 +94,7 @@ func TestScriptedViolationBaseline(t *testing.T) {
 
 func TestScriptedViolationDMDC(t *testing.T) {
 	s := scriptedSim(violationScript(), dmdcFactory)
-	r := s.Run(2000)
+	r := s.MustRun(2000)
 	if got := r.Stats.Get("core_replays_total"); got < 1 {
 		t.Errorf("DMDC missed the scripted violation (replays = %v)", got)
 	}
@@ -114,7 +114,7 @@ func TestScriptedForwardingNoViolation(t *testing.T) {
 		nop(10), nop(11),
 	}
 	s := scriptedSim(script, camFactory)
-	r := s.Run(1000)
+	r := s.MustRun(1000)
 	if got := r.Stats.Get("core_replays_total"); got != 0 {
 		t.Errorf("replays = %v, want 0 (ordered same-address pair)", got)
 	}
@@ -135,7 +135,7 @@ func TestScriptedRejectionOnSlowStoreData(t *testing.T) {
 		nop(10), nop(11),
 	}
 	s := scriptedSim(script, camFactory)
-	r := s.Run(1000)
+	r := s.MustRun(1000)
 	if got := r.Stats.Get("load_rejections"); got < 1 {
 		t.Errorf("rejections = %v, want ≥ 1 (data-not-ready forwarding)", got)
 	}
@@ -154,7 +154,7 @@ func TestScriptedPartialMatchRejects(t *testing.T) {
 		nop(10), nop(11),
 	}
 	s := scriptedSim(script, camFactory)
-	r := s.Run(1000)
+	r := s.MustRun(1000)
 	if got := r.Stats.Get("load_rejections"); got < 1 {
 		t.Errorf("rejections = %v, want ≥ 1 (partial match)", got)
 	}
@@ -169,7 +169,7 @@ func TestScriptedDisjointNoViolation(t *testing.T) {
 	script := violationScript()
 	script[2].Addr = 0x1000_0108 // next quad word
 	s := scriptedSim(script, camFactory)
-	r := s.Run(1000)
+	r := s.MustRun(1000)
 	if got := r.Stats.Get("core_replays_total"); got != 0 {
 		t.Errorf("replays = %v, want 0 for disjoint addresses", got)
 	}
@@ -183,7 +183,7 @@ func TestScriptedSafeLoadFlag(t *testing.T) {
 		nop(10),
 	}
 	s := scriptedSim(script, dmdcFactory)
-	s.Run(500)
+	s.MustRun(500)
 	// Nothing to assert beyond absence of crashes and replays: with no
 	// stores at all, no checking ever happens.
 	if got := s.result().Stats.Get("windows"); got != 0 {

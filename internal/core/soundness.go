@@ -1,0 +1,252 @@
+package core
+
+import (
+	"fmt"
+
+	"dmdc/internal/isa"
+	"dmdc/internal/soundness"
+	"dmdc/internal/stats"
+)
+
+// DefaultWatchdogBudget is the forward-progress budget: a run fails with a
+// *soundness.WatchdogError when no instruction commits for this many
+// cycles. Generous enough that even a one-deep pipeline behind a chain of
+// L2 misses stays far away from it.
+const DefaultWatchdogBudget = 1_000_000
+
+// WithOracle attaches the lockstep architectural oracle. ref must be an
+// independent source of the same committed-path instruction stream the
+// simulator's workload produces — for the synthetic benchmarks, a second
+// generator built from the same profile. Every commit is then verified
+// against the in-order model and Run fails with a *soundness.SoundnessError
+// at the first divergence.
+func WithOracle(ref InstSource) Option {
+	return func(s *Sim) {
+		s.oracleRef = ref
+		s.ringWanted = true
+	}
+}
+
+// WithFaults enables the deterministic microarchitectural fault-injection
+// campaign described by spec (see soundness.FaultSpec). Faults perturb
+// timing and checking state, never architectural results, so a run with
+// both faults and the oracle enabled must still verify cleanly.
+func WithFaults(spec soundness.FaultSpec) Option {
+	return func(s *Sim) {
+		s.faults = spec
+		s.ringWanted = s.ringWanted || !spec.Zero()
+	}
+}
+
+// WithWatchdog overrides the forward-progress budget (cycles without a
+// single commit before the run fails with a state dump). budget 0 restores
+// the default.
+func WithWatchdog(budget uint64) Option {
+	return func(s *Sim) {
+		if budget == 0 {
+			budget = DefaultWatchdogBudget
+		}
+		s.watchdogBudget = budget
+		s.ringWanted = true
+	}
+}
+
+// WithInvariantChecking runs the full structural invariant sweep every n
+// cycles; a failure stops the run with a *soundness.SoundnessError carrying
+// the invariant text and the trailing pipeline events. n 0 disables the
+// periodic sweep (the watchdog dump still reports invariants on a trip).
+func WithInvariantChecking(n uint64) Option {
+	return func(s *Sim) {
+		s.invariantEvery = n
+		s.ringWanted = s.ringWanted || n > 0
+	}
+}
+
+// MustSim unwraps a (Sim, error) pair, panicking on error — a convenience
+// for tests and examples whose configurations are static.
+func MustSim(s *Sim, err error) *Sim {
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// finishSoundness validates the fault spec and wires the soundness layer
+// after all options have been applied: the event ring, the alias-remapping
+// workload wrappers, and the oracle itself.
+func (s *Sim) finishSoundness() error {
+	if err := s.faults.Validate(); err != nil {
+		return err
+	}
+	if s.ringWanted && s.ring == nil {
+		s.ring = soundness.NewEventRing(soundness.DefaultRingSize)
+	}
+	if s.faults.AliasBytes > 0 || s.faults.WPAliasBytes > 0 {
+		s.wl = &aliasWorkload{wl: s.wl, spec: s.faults}
+	}
+	if s.oracleRef != nil {
+		ref := s.oracleRef
+		if s.faults.AliasBytes > 0 {
+			// The reference stream must see the same remapped addresses the
+			// pipeline commits.
+			ref = &aliasSource{src: ref, window: s.faults.AliasBytes}
+		}
+		s.oracle = soundness.NewOracle(ref, s.ring)
+	}
+	return nil
+}
+
+// aliasWorkload remaps data addresses into the adversarial alias window:
+// correct-path accesses when AliasBytes is set, wrong-path accesses when
+// WPAliasBytes is set. Invalidation injection follows the remap so external
+// invalidations keep hitting the live working set.
+type aliasWorkload struct {
+	wl   Workload
+	spec soundness.FaultSpec
+}
+
+func (w *aliasWorkload) Next() isa.Inst {
+	in := w.wl.Next()
+	if w.spec.AliasBytes > 0 && in.Op.IsMem() {
+		in.Addr = soundness.RemapAddr(soundness.AliasBase, in.Addr, w.spec.AliasBytes)
+	}
+	return in
+}
+
+func (w *aliasWorkload) WrongPath(branchPC uint64, taken bool, salt uint64) InstSource {
+	ws := w.wl.WrongPath(branchPC, taken, salt)
+	if ws == nil || w.spec.WPAliasBytes == 0 {
+		return ws
+	}
+	return &aliasSource{src: ws, window: w.spec.WPAliasBytes}
+}
+
+func (w *aliasWorkload) EntryPC() uint64 { return w.wl.EntryPC() }
+
+func (w *aliasWorkload) Meta() WorkloadMeta {
+	m := w.wl.Meta()
+	if w.spec.AliasBytes > 0 {
+		m.InvBase = soundness.AliasBase
+		m.InvBytes = soundness.AliasWindow(w.spec.AliasBytes)
+	}
+	return m
+}
+
+// aliasSource remaps the memory addresses of a bare instruction stream.
+type aliasSource struct {
+	src    InstSource
+	window uint64
+}
+
+func (a *aliasSource) Next() isa.Inst {
+	in := a.src.Next()
+	if in.Op.IsMem() {
+		in.Addr = soundness.RemapAddr(soundness.AliasBase, in.Addr, a.window)
+	}
+	return in
+}
+
+// applyDispatchFaults perturbs one just-dispatched instruction according to
+// the fault spec: delayed store-address resolution and forced wrong-path
+// marking. Called from insert only when a fault campaign is active.
+func (s *Sim) applyDispatchFaults(e *entry) {
+	f := &s.faults
+	if f.StoreDelayEvery > 0 && e.inst.Op.IsStore() && !e.wrongPath {
+		s.storeSeen++
+		if s.storeSeen%f.StoreDelayEvery == 0 {
+			e.notBefore = s.cycle + f.StoreDelay
+			s.faultsInjected++
+			s.traceEvent("FLT", e.age, &e.inst, fmt.Sprintf("store-resolve delayed %d cycles", f.StoreDelay))
+		}
+	}
+	if f.MarkWPAge > 0 && !s.markedWP && e.age >= f.MarkWPAge && !e.wrongPath && !e.inst.Op.IsBranch() {
+		s.markedWP = true
+		// A corruption no real event produces: the entry is poisoned in the
+		// ROB while its MemOp stays correct-path. It must be caught at the
+		// head as a wrong-path-commit soundness error.
+		e.wrongPath = true
+		s.faultsInjected++
+		s.traceEvent("FLT", e.age, &e.inst, "forcibly marked wrong-path")
+	}
+}
+
+// injectFaultBursts delivers the periodic invalidation bursts of the fault
+// campaign: every InvBurstEvery cycles, InvBurstN line invalidations walk
+// the workload's data region at a fixed stride. Fully deterministic, unlike
+// the Poisson injection of WithInvalidations.
+func (s *Sim) injectFaultBursts() {
+	f := &s.faults
+	if f.InvBurstEvery == 0 || s.cycle == 0 || s.cycle%f.InvBurstEvery != 0 {
+		return
+	}
+	meta := s.wl.Meta()
+	lineB := uint64(s.cfg.Memory.L1D.LineB)
+	lines := meta.InvBytes / lineB
+	if lines == 0 {
+		return
+	}
+	burst := s.cycle / f.InvBurstEvery
+	for i := 0; i < f.InvBurstN; i++ {
+		line := (burst*uint64(f.InvBurstN) + uint64(i)) * 17 % lines
+		s.pol.Invalidate(meta.InvBase + line*lineB)
+		s.invInjected++
+	}
+	s.faultsInjected++
+	s.traceMark("FLT", fmt.Sprintf("invalidation burst n=%d", f.InvBurstN))
+}
+
+// stateDump snapshots the pipeline for diagnostics: occupancy, a ROB head
+// window, policy counters, the invariant verdict, and the event ring.
+func (s *Sim) stateDump() *soundness.StateDump {
+	d := &soundness.StateDump{
+		Cycle:           s.cycle,
+		Committed:       s.committed,
+		LastCommitCycle: s.lastCommitCycle,
+		HeadAge:         s.headAge,
+		ROBCount:        s.count,
+		ROBSize:         len(s.rob),
+		IQInt:           s.iqInt,
+		IQFP:            s.iqFP,
+		SQLen:           len(s.sq),
+		InflightLoads:   s.inflightLoads,
+		FetchQLen:       len(s.fetchQ),
+		ReplayQLen:      len(s.replayQ),
+		FetchResume:     s.fetchResume,
+		WrongPathMode:   s.wpActive,
+		Policy:          s.pol.Name(),
+		Events:          s.ring.Snapshot(),
+	}
+	n := s.count
+	if n > soundness.DumpROBWindow {
+		n = soundness.DumpROBWindow
+	}
+	for k := 0; k < n; k++ {
+		e := &s.rob[(s.headIdx+k)%len(s.rob)]
+		d.ROB = append(d.ROB, soundness.ROBSlot{
+			Age:       e.age,
+			State:     stateName(e.state),
+			WrongPath: e.wrongPath,
+			NotBefore: e.notBefore,
+			Inst:      e.inst.String(),
+		})
+	}
+	ps := stats.NewSet()
+	s.pol.Report(ps)
+	d.PolicyState = ps.String()
+	if err := s.CheckInvariants(); err != nil {
+		d.InvariantErr = err.Error()
+	}
+	return d
+}
+
+func stateName(st uint8) string {
+	switch st {
+	case stWaiting:
+		return "waiting"
+	case stIssued:
+		return "issued"
+	case stCompleted:
+		return "completed"
+	}
+	return fmt.Sprintf("state-%d", st)
+}

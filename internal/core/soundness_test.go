@@ -1,0 +1,299 @@
+package core
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	"dmdc/internal/config"
+	"dmdc/internal/energy"
+	"dmdc/internal/isa"
+	"dmdc/internal/lsq"
+	"dmdc/internal/soundness"
+	"dmdc/internal/trace"
+)
+
+// soundPolicies enumerates every dependence-checking scheme the repo
+// implements; the oracle must verify all of them cleanly, with and without
+// fault injection.
+var soundPolicies = []struct {
+	name string
+	mk   func(cfg config.Machine, em *energy.Model) lsq.Policy
+}{
+	{"cam", func(cfg config.Machine, em *energy.Model) lsq.Policy {
+		return lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em))
+	}},
+	{"cam-yla", func(cfg config.Machine, em *energy.Model) lsq.Policy {
+		return lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize, Filter: lsq.FilterYLA, YLARegs: 4}, em))
+	}},
+	{"cam-bloom", func(cfg config.Machine, em *energy.Model) lsq.Policy {
+		return lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize, Filter: lsq.FilterBloom, BloomSize: 1024}, em))
+	}},
+	{"dmdc-global", func(cfg config.Machine, em *energy.Model) lsq.Policy {
+		return lsq.Must(lsq.NewDMDC(lsq.DefaultDMDCConfig(cfg.CheckTable, cfg.ROBSize), em))
+	}},
+	{"dmdc-local", func(cfg config.Machine, em *energy.Model) lsq.Policy {
+		dcfg := lsq.DefaultDMDCConfig(cfg.CheckTable, cfg.ROBSize)
+		dcfg.Local = true
+		return lsq.Must(lsq.NewDMDC(dcfg, em))
+	}},
+	{"agetable", func(cfg config.Machine, em *energy.Model) lsq.Policy {
+		return lsq.Must(lsq.NewAgeTable(lsq.AgeTableConfig{TableSize: cfg.CheckTable, LQSize: cfg.ROBSize}, em))
+	}},
+	{"value-based", func(cfg config.Machine, em *energy.Model) lsq.Policy {
+		return lsq.Must(lsq.NewValueBased(lsq.ValueBasedConfig{LoadCap: cfg.ROBSize}, em))
+	}},
+}
+
+// oracleSim builds a simulator with the lockstep oracle attached, feeding
+// the reference model an independent generator over the same profile.
+func oracleSim(t *testing.T, bench, policy string, opts ...Option) *Sim {
+	t.Helper()
+	cfg := config.Config2()
+	prof, err := trace.ByName(bench)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mk func(config.Machine, *energy.Model) lsq.Policy
+	for _, p := range soundPolicies {
+		if p.name == policy {
+			mk = p.mk
+		}
+	}
+	if mk == nil {
+		t.Fatalf("unknown policy %q", policy)
+	}
+	em := energy.NewModel(cfg.CoreSize())
+	opts = append(opts, WithOracle(FromGenerator(trace.NewGenerator(prof))))
+	s, err := New(cfg, prof, mk(cfg, em), em, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Every policy must pass the oracle on a plain run: zero divergences across
+// the committed stream, and the oracle must actually have checked every
+// committed instruction.
+func TestOracleCleanOnAllPolicies(t *testing.T) {
+	for _, p := range soundPolicies {
+		t.Run(p.name, func(t *testing.T) {
+			s := oracleSim(t, "gzip", p.name)
+			r, err := s.Run(20000)
+			if err != nil {
+				t.Fatalf("oracle divergence under %s: %v", p.name, err)
+			}
+			if got := r.Stats.Get("oracle_checked_insts"); got != float64(r.Insts) {
+				t.Errorf("oracle checked %v of %d committed insts", got, r.Insts)
+			}
+			if r.Stats.Get("oracle_checked_loads") == 0 {
+				t.Error("oracle checked no loads")
+			}
+		})
+	}
+}
+
+// A deliberately broken policy — every replay demand suppressed — must be
+// caught by the oracle with a load-value error naming the first bad commit.
+func TestOracleCatchesUnsoundPolicy(t *testing.T) {
+	cfg := config.Config2()
+	prof, err := trace.ByName("parser") // alias-prone profile
+	if err != nil {
+		t.Fatal(err)
+	}
+	em := energy.NewModel(cfg.CoreSize())
+	pol := soundness.NewUnsound(lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em)))
+	// The store-delay fault widens the premature-issue window so a
+	// suppressed replay is guaranteed to matter within the run.
+	faults := soundness.FaultSpec{StoreDelay: 40, StoreDelayEvery: 3}
+	s := MustSim(New(cfg, prof, pol, em,
+		WithOracle(FromGenerator(trace.NewGenerator(prof))),
+		WithFaults(faults)))
+	_, err = s.Run(50000)
+	var serr *soundness.SoundnessError
+	if !errors.As(err, &serr) {
+		t.Fatalf("unsound policy escaped the oracle (err = %v, %d replays suppressed)",
+			err, pol.Suppressed)
+	}
+	if serr.Kind != soundness.KindLoadValue {
+		t.Errorf("Kind = %s, want %s", serr.Kind, soundness.KindLoadValue)
+	}
+	if serr.Seq == 0 || serr.PC == 0 {
+		t.Errorf("error does not name the bad commit: %+v", serr)
+	}
+	if len(serr.Events) == 0 {
+		t.Error("error carries no pipeline-event window")
+	}
+	if pol.Suppressed == 0 {
+		t.Error("wrapper suppressed nothing; the run was not actually stressed")
+	}
+}
+
+// alwaysReplay demands a replay at every load commit: a livelock the
+// watchdog must convert into a diagnosable error instead of a hang.
+type alwaysReplay struct {
+	lsq.Policy
+}
+
+func (p alwaysReplay) LoadCommit(op *lsq.MemOp) *lsq.Replay {
+	return &lsq.Replay{FromAge: op.Age, Cause: lsq.CauseSpurious}
+}
+
+func TestWatchdogTrips(t *testing.T) {
+	cfg := config.Config2()
+	em := energy.NewModel(cfg.CoreSize())
+	pol := alwaysReplay{Policy: lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em))}
+	insts := []isa.Inst{
+		{Op: isa.OpStore, Src1: 1, Src2: 2, Addr: 0x1000, Size: 8},
+		{Op: isa.OpLoad, Dest: 3, Src1: 1, Addr: 0x1000, Size: 8},
+	}
+	s := MustSim(NewWithWorkload(cfg, newScripted(insts), pol, em, WithWatchdog(3000)))
+	_, err := s.Run(1000)
+	var werr *soundness.WatchdogError
+	if !errors.As(err, &werr) {
+		t.Fatalf("stalled pipeline did not trip the watchdog: %v", err)
+	}
+	if werr.Budget != 3000 {
+		t.Errorf("Budget = %d, want 3000", werr.Budget)
+	}
+	if werr.Dump == nil {
+		t.Fatal("watchdog error carries no state dump")
+	}
+	msg := err.Error()
+	for _, want := range []string{"core watchdog", "pipeline state", "rob ", "invariants:"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("watchdog message missing %q:\n%s", want, msg)
+		}
+	}
+	if werr.Dump.ROBCount == 0 || len(werr.Dump.ROB) == 0 {
+		t.Error("dump shows an empty ROB for a stalled pipeline")
+	}
+}
+
+// Regression: a resolve-time replay (AgeTable replays from a store's
+// age + 1) can name a point past a still-unresolved mispredicted branch —
+// every squashed instruction is wrong-path and nothing can be refetched.
+// The front end must keep fetching the wrong path; resuming the generator
+// used to burn correct-path instructions that branch recovery then
+// discarded, and the oracle flagged the committed stream skipping ahead
+// (stream-divergence at mesa commit #26257 before the fix).
+func TestReplayIntoWrongPathKeepsStream(t *testing.T) {
+	s := oracleSim(t, "mesa", "agetable")
+	r, err := s.Run(30000)
+	if err != nil {
+		t.Fatalf("oracle divergence: %v", err)
+	}
+	if got := r.Stats.Get("oracle_checked_insts"); got != float64(r.Insts) {
+		t.Errorf("oracle checked %v of %d committed insts", got, r.Insts)
+	}
+	if r.Stats.Get("core_replays_wrongpath") == 0 {
+		t.Error("no replay landed on the wrong path; regression scenario not reached")
+	}
+}
+
+// The markwp fault corrupts a correct-path instruction's wrong-path bit in
+// the ROB; commit must refuse it with a typed wrong-path-commit error
+// instead of the old panic.
+func TestWrongPathCommitTypedError(t *testing.T) {
+	cfg := config.Config2()
+	em := energy.NewModel(cfg.CoreSize())
+	pol := lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em))
+	s := MustSim(NewWithWorkload(cfg, newScripted(nil), pol, em,
+		WithFaults(soundness.FaultSpec{MarkWPAge: 20})))
+	_, err := s.Run(1000)
+	var serr *soundness.SoundnessError
+	if !errors.As(err, &serr) {
+		t.Fatalf("corrupted wrong-path bit not caught: %v", err)
+	}
+	if serr.Kind != soundness.KindWrongPathCommit {
+		t.Errorf("Kind = %s, want %s", serr.Kind, soundness.KindWrongPathCommit)
+	}
+	if !strings.Contains(err.Error(), "wrong-path") {
+		t.Errorf("message does not say wrong-path:\n%v", err)
+	}
+	if len(serr.Events) == 0 {
+		t.Error("error carries no pipeline-event window")
+	}
+}
+
+// Periodic invariant checking passes on a healthy pipeline and catches a
+// corrupted one.
+func TestInvariantCheckingOption(t *testing.T) {
+	s := oracleSim(t, "gzip", "dmdc-global", WithInvariantChecking(64))
+	if _, err := s.Run(10000); err != nil {
+		t.Fatalf("healthy pipeline failed the periodic invariant sweep: %v", err)
+	}
+	// White-box corruption: lie about the ROB occupancy.
+	s2 := oracleSim(t, "gzip", "cam", WithInvariantChecking(1))
+	s2.MustRun(100)
+	s2.count++
+	_, err := s2.Run(1000)
+	var serr *soundness.SoundnessError
+	if !errors.As(err, &serr) || serr.Kind != soundness.KindInvariant {
+		t.Fatalf("corrupted ROB count not caught: %v", err)
+	}
+	if serr.Got == "" {
+		t.Error("invariant error carries no failure text")
+	}
+}
+
+// The full fault campaign — invalidation bursts, delayed store resolution,
+// alias storms on both paths, spurious replays — must leave every policy
+// architecturally correct under the oracle.
+func TestFaultInjectionAllPoliciesSound(t *testing.T) {
+	faults, err := soundness.ParseFaultSpec("invburst=4@100,storedelay=30@5,alias=8192,wpalias=4096,spurious=101")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range soundPolicies {
+		t.Run(p.name, func(t *testing.T) {
+			s := oracleSim(t, "parser", p.name, WithFaults(faults))
+			r, err := s.Run(15000)
+			if err != nil {
+				t.Fatalf("policy %s diverged under faults: %v", p.name, err)
+			}
+			if r.Stats.Get("faults_injected") == 0 {
+				t.Error("no faults were injected; the campaign was inert")
+			}
+			if got := r.Stats.Get("oracle_checked_insts"); got != float64(r.Insts) {
+				t.Errorf("oracle checked %v of %d committed insts", got, r.Insts)
+			}
+		})
+	}
+}
+
+// Fault injection is deterministic: identical specs produce identical runs.
+func TestFaultInjectionDeterministic(t *testing.T) {
+	faults := soundness.FaultSpec{StoreDelay: 20, StoreDelayEvery: 7, SpuriousEvery: 97}
+	run := func() *Result {
+		cfg := config.Config2()
+		prof, _ := trace.ByName("gzip")
+		em := energy.NewModel(cfg.CoreSize())
+		pol := lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em))
+		return MustSim(New(cfg, prof, pol, em, WithFaults(faults))).MustRun(10000)
+	}
+	r1, r2 := run(), run()
+	if r1.Cycles != r2.Cycles || r1.Stats.Get("faults_injected") != r2.Stats.Get("faults_injected") {
+		t.Errorf("fault runs diverged: %d vs %d cycles, %v vs %v faults",
+			r1.Cycles, r2.Cycles, r1.Stats.Get("faults_injected"), r2.Stats.Get("faults_injected"))
+	}
+}
+
+// The alias storm must actually concentrate the working set: with a tiny
+// window, loads start issuing past overlapping unresolved stores, so the
+// policy's memory-order replays must appear where the clean run has none.
+func TestAliasStormConcentratesTraffic(t *testing.T) {
+	run := func(spec soundness.FaultSpec) *Result {
+		cfg := config.Config2()
+		prof, _ := trace.ByName("gzip")
+		em := energy.NewModel(cfg.CoreSize())
+		pol := lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em))
+		return MustSim(New(cfg, prof, pol, em, WithFaults(spec))).MustRun(15000)
+	}
+	clean := run(soundness.FaultSpec{})
+	storm := run(soundness.FaultSpec{AliasBytes: 256})
+	if storm.Stats.Get("core_replays_total") <= clean.Stats.Get("core_replays_total") {
+		t.Errorf("alias storm forced no extra memory-order replays: %v vs %v",
+			storm.Stats.Get("core_replays_total"), clean.Stats.Get("core_replays_total"))
+	}
+}

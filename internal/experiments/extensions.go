@@ -34,7 +34,7 @@ const (
 
 // DMDCTableFactory builds global DMDC with a specific table size.
 func DMDCTableFactory(tableSize int) PolicyFactory {
-	return func(m config.Machine, em *energy.Model) lsq.Policy {
+	return func(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 		cfg := lsq.DefaultDMDCConfig(tableSize, m.ROBSize)
 		return lsq.NewDMDC(cfg, em)
 	}
@@ -42,7 +42,7 @@ func DMDCTableFactory(tableSize int) PolicyFactory {
 
 // DMDCYLAFactory builds global DMDC with a specific YLA register count.
 func DMDCYLAFactory(regs int) PolicyFactory {
-	return func(m config.Machine, em *energy.Model) lsq.Policy {
+	return func(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
 		cfg.YLARegs = regs
 		return lsq.NewDMDC(cfg, em)

@@ -16,7 +16,7 @@ const keyAgeTable = "agetable"
 
 // AgeTableFactory builds the Garg et al. policy sized like the DMDC
 // checking table.
-func AgeTableFactory(m config.Machine, em *energy.Model) lsq.Policy {
+func AgeTableFactory(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 	return lsq.NewAgeTable(lsq.AgeTableConfig{TableSize: m.CheckTable, LQSize: m.ROBSize}, em)
 }
 

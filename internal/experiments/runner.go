@@ -18,6 +18,7 @@ import (
 	"dmdc/internal/energy"
 	"dmdc/internal/lsq"
 	"dmdc/internal/resultcache"
+	"dmdc/internal/soundness"
 	"dmdc/internal/trace"
 )
 
@@ -38,6 +39,20 @@ type Options struct {
 	// rooted at that directory (see internal/resultcache). Deterministic
 	// simulation makes cached results exact, not approximate.
 	CacheDir string
+	// Soundness attaches the lockstep architectural oracle to every run:
+	// each commit is checked against an independent in-order model and any
+	// divergence fails the cell with a *soundness.SoundnessError. Oracle
+	// runs always simulate (the cache is bypassed) — a cached result would
+	// skip exactly the verification being asked for.
+	Soundness bool
+	// Faults injects the given deterministic fault campaign into every
+	// run (see soundness.FaultSpec). Faults perturb timing, so faulted
+	// results are cached under a key that includes the spec.
+	Faults soundness.FaultSpec
+	// WatchdogCycles overrides the forward-progress budget (cycles without
+	// a commit before a run fails with a state dump); 0 keeps the core
+	// default.
+	WatchdogCycles uint64
 }
 
 // DefaultOptions returns options suitable for regenerating the paper's
@@ -55,6 +70,9 @@ func (o Options) normalized() (Options, error) {
 	}
 	if o.Parallelism <= 0 {
 		o.Parallelism = runtime.GOMAXPROCS(0)
+	}
+	if err := o.Faults.Validate(); err != nil {
+		return o, err
 	}
 	if len(o.Benchmarks) == 0 {
 		o.Benchmarks = trace.Names()
@@ -89,33 +107,35 @@ func ParseBenchmarks(s string) ([]string, error) {
 }
 
 // PolicyFactory builds a policy wired to an energy model, given the
-// machine configuration.
-type PolicyFactory func(m config.Machine, em *energy.Model) lsq.Policy
+// machine configuration. A configuration error (e.g. a sweep point
+// outside a policy's valid range) is reported, not panicked, so one bad
+// cell never takes down the matrix.
+type PolicyFactory func(m config.Machine, em *energy.Model) (lsq.Policy, error)
 
 // BaselineFactory is the conventional CAM load queue.
-func BaselineFactory(m config.Machine, em *energy.Model) lsq.Policy {
+func BaselineFactory(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 	return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize}, em)
 }
 
 // YLAFactory is the CAM load queue with 8-register YLA filtering (E3).
-func YLAFactory(m config.Machine, em *energy.Model) lsq.Policy {
+func YLAFactory(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 	return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterYLA, YLARegs: 8}, em)
 }
 
 // DMDCGlobalFactory is the paper's primary design.
-func DMDCGlobalFactory(m config.Machine, em *energy.Model) lsq.Policy {
+func DMDCGlobalFactory(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 	return lsq.NewDMDC(lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize), em)
 }
 
 // DMDCLocalFactory is the local-window variant (Section 4.4).
-func DMDCLocalFactory(m config.Machine, em *energy.Model) lsq.Policy {
+func DMDCLocalFactory(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 	cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
 	cfg.Local = true
 	return lsq.NewDMDC(cfg, em)
 }
 
 // DMDCNoSafeLoadsFactory disables the safe-load bypass (E12 ablation).
-func DMDCNoSafeLoadsFactory(m config.Machine, em *energy.Model) lsq.Policy {
+func DMDCNoSafeLoadsFactory(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 	cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
 	cfg.SafeLoads = false
 	return lsq.NewDMDC(cfg, em)
@@ -124,7 +144,7 @@ func DMDCNoSafeLoadsFactory(m config.Machine, em *energy.Model) lsq.Policy {
 // DMDCQueueFactory replaces the hash table with an N-entry associative
 // checking queue (E13).
 func DMDCQueueFactory(n int) PolicyFactory {
-	return func(m config.Machine, em *energy.Model) lsq.Policy {
+	return func(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
 		cfg.TableSize = 0
 		cfg.QueueSize = n
@@ -244,9 +264,11 @@ func progressLine(done, total int, j job, cached bool, err error, start time.Tim
 	return line
 }
 
-// runJob runs (or fetches from cache) one cell of the matrix. A panic
-// anywhere inside the simulator is recovered into a labeled *RunError
-// rather than crashing the worker pool.
+// runJob runs (or fetches from cache) one cell of the matrix. Every
+// failure mode — a policy configuration error, a bad machine config, a
+// soundness divergence, a watchdog trip, or a panic anywhere inside the
+// simulator — becomes a labeled *RunError rather than crashing the worker
+// pool, so one bad cell never discards its siblings' work.
 func (s *Suite) runJob(sp runSpec, bench string) (r *core.Result, cached bool, err error) {
 	defer func() {
 		if p := recover(); p != nil {
@@ -254,13 +276,17 @@ func (s *Suite) runJob(sp runSpec, bench string) (r *core.Result, cached bool, e
 			err = &RunError{Key: sp.key, Benchmark: bench, Err: fmt.Errorf("panic: %v", p)}
 		}
 	}()
+	// Oracle runs bypass the cache entirely: a cached result would skip
+	// exactly the lockstep verification the caller asked for.
+	useCache := s.cache != nil && !s.opts.Soundness
 	var key string
-	if s.cache != nil {
+	if useCache {
 		key = resultcache.Key(resultcache.KeySpec{
 			Machine:   sp.machine,
 			RunKey:    sp.key,
 			Benchmark: bench,
 			Insts:     s.opts.Insts,
+			Faults:    s.opts.Faults.String(),
 		})
 		if hit, ok := s.cache.Get(key); ok {
 			return hit, true, nil
@@ -273,7 +299,10 @@ func (s *Suite) runJob(sp runSpec, bench string) (r *core.Result, cached bool, e
 		return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: err}
 	}
 	em := energy.NewModel(sp.machine.CoreSize())
-	pol := sp.factory(sp.machine, em)
+	pol, err := sp.factory(sp.machine, em)
+	if err != nil {
+		return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: err}
+	}
 	opts := append([]core.Option{}, sp.extraOpts...)
 	if sp.invRate > 0 {
 		opts = append(opts, core.WithInvalidations(sp.invRate))
@@ -281,10 +310,25 @@ func (s *Suite) runJob(sp runSpec, bench string) (r *core.Result, cached bool, e
 	if sp.monitors != nil {
 		opts = append(opts, core.WithMonitors(sp.monitors()...))
 	}
-	sim := core.New(sp.machine, prof, pol, em, opts...)
-	r = sim.Run(s.opts.Insts)
+	if s.opts.Soundness {
+		opts = append(opts, core.WithOracle(core.FromGenerator(trace.NewGenerator(prof))))
+	}
+	if !s.opts.Faults.Zero() {
+		opts = append(opts, core.WithFaults(s.opts.Faults))
+	}
+	if s.opts.WatchdogCycles > 0 {
+		opts = append(opts, core.WithWatchdog(s.opts.WatchdogCycles))
+	}
+	sim, err := core.New(sp.machine, prof, pol, em, opts...)
+	if err != nil {
+		return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: err}
+	}
+	r, err = sim.Run(s.opts.Insts)
+	if err != nil {
+		return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: err}
+	}
 	s.simulated.Add(1)
-	if s.cache != nil {
+	if useCache {
 		// Best-effort: a failed write only costs a recompute next time;
 		// the cache counts it (WriteErrors) for observability.
 		s.cache.Put(key, r)

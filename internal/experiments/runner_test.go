@@ -20,7 +20,7 @@ func TestRunMatrixRecoversPanics(t *testing.T) {
 	bad := runSpec{
 		key:     "bad",
 		machine: config.Config2(),
-		factory: func(m config.Machine, em *energy.Model) lsq.Policy {
+		factory: func(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 			panic("factory exploded")
 		},
 	}

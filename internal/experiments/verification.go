@@ -20,13 +20,13 @@ const (
 )
 
 // ValueBasedFactory builds plain commit-time re-execution.
-func ValueBasedFactory(m config.Machine, em *energy.Model) lsq.Policy {
+func ValueBasedFactory(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 	return lsq.NewValueBased(lsq.ValueBasedConfig{LoadCap: m.ROBSize}, em)
 }
 
 // ValueSVWFactory builds re-execution behind an SVW filter sized like the
 // DMDC checking table.
-func ValueSVWFactory(m config.Machine, em *energy.Model) lsq.Policy {
+func ValueSVWFactory(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 	return lsq.NewValueBased(lsq.ValueBasedConfig{SVW: true, SVWSize: m.CheckTable, LoadCap: m.ROBSize}, em)
 }
 

@@ -34,10 +34,10 @@ type AgeTableConfig struct {
 // Validate reports the first problem, or nil.
 func (c AgeTableConfig) Validate() error {
 	if c.TableSize < 2 || c.TableSize&(c.TableSize-1) != 0 {
-		return fmt.Errorf("lsq: age table size %d must be a power of two ≥ 2", c.TableSize)
+		return fmt.Errorf("age table size %d must be a power of two ≥ 2", c.TableSize)
 	}
 	if c.LQSize < 1 {
-		return fmt.Errorf("lsq: load capacity %d must be positive", c.LQSize)
+		return fmt.Errorf("load capacity %d must be positive", c.LQSize)
 	}
 	return nil
 }
@@ -65,10 +65,11 @@ type AgeTable struct {
 	// aging — modeled here by clamping on recovery).
 }
 
-// NewAgeTable builds the policy; panics on invalid configuration.
-func NewAgeTable(cfg AgeTableConfig, em *energy.Model) *AgeTable {
+// NewAgeTable builds the policy. An invalid configuration yields a
+// *ConfigError.
+func NewAgeTable(cfg AgeTableConfig, em *energy.Model) (*AgeTable, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, &ConfigError{Policy: "agetable", Err: err}
 	}
 	a := &AgeTable{
 		cfg:   cfg,
@@ -82,7 +83,7 @@ func NewAgeTable(cfg AgeTableConfig, em *energy.Model) *AgeTable {
 	for s := cfg.TableSize; s > 1; s >>= 1 {
 		a.bits++
 	}
-	return a
+	return a, nil
 }
 
 // Name identifies the policy.

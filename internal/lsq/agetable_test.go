@@ -1,6 +1,7 @@
 package lsq
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 )
 
 func testAgeTable() *AgeTable {
-	return NewAgeTable(AgeTableConfig{TableSize: 2048, LQSize: 256}, energy.Disabled())
+	return Must(NewAgeTable(AgeTableConfig{TableSize: 2048, LQSize: 256}, energy.Disabled()))
 }
 
 func TestAgeTableConfigValidate(t *testing.T) {
@@ -27,13 +28,12 @@ func TestAgeTableConfigValidate(t *testing.T) {
 	}
 }
 
-func TestAgeTablePanicsOnBadConfig(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic")
-		}
-	}()
-	NewAgeTable(AgeTableConfig{}, energy.Disabled())
+func TestAgeTableRejectsBadConfig(t *testing.T) {
+	_, err := NewAgeTable(AgeTableConfig{}, energy.Disabled())
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("bad config: err = %v, want *ConfigError", err)
+	}
 }
 
 func TestAgeTableDetectsViolation(t *testing.T) {
@@ -72,7 +72,7 @@ func TestAgeTableBitmapScreensNarrowAccesses(t *testing.T) {
 
 func TestAgeTableHashAliasing(t *testing.T) {
 	cfg := AgeTableConfig{TableSize: 2, LQSize: 64}
-	a := NewAgeTable(cfg, energy.Disabled())
+	a := Must(NewAgeTable(cfg, energy.Disabled()))
 	ld := newLoad(10, 0x108, 8)
 	issueLoad(a, ld, 5)
 	st := newStore(3, 0x100, 8)

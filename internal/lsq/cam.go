@@ -47,10 +47,32 @@ type CAM struct {
 	writeCost  float64
 }
 
-// NewCAM builds the policy. em may be energy.Disabled().
-func NewCAM(cfg CAMConfig, em *energy.Model) *CAM {
-	if cfg.LQSize < 1 {
-		panic("lsq: LQ size must be positive")
+// Validate reports the first configuration problem, or nil.
+func (c CAMConfig) Validate() error {
+	if c.LQSize < 1 {
+		return fmt.Errorf("LQ size %d must be positive", c.LQSize)
+	}
+	switch c.Filter {
+	case FilterNone:
+	case FilterYLA:
+		if c.YLARegs < 1 || c.YLARegs&(c.YLARegs-1) != 0 {
+			return fmt.Errorf("YLA register count %d must be a power of two ≥ 1", c.YLARegs)
+		}
+	case FilterBloom:
+		if c.BloomSize < 2 || c.BloomSize&(c.BloomSize-1) != 0 {
+			return fmt.Errorf("bloom filter size %d must be a power of two ≥ 2", c.BloomSize)
+		}
+	default:
+		return fmt.Errorf("unknown filter kind %d", c.Filter)
+	}
+	return nil
+}
+
+// NewCAM builds the policy. em may be energy.Disabled(). An invalid
+// configuration yields a *ConfigError.
+func NewCAM(cfg CAMConfig, em *energy.Model) (*CAM, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, &ConfigError{Policy: "cam", Err: err}
 	}
 	c := &CAM{
 		cfg:        cfg,
@@ -65,7 +87,7 @@ func NewCAM(cfg CAMConfig, em *energy.Model) *CAM {
 		c.bloom = NewBloomFilter(cfg.BloomSize)
 		c.bloomTracked = make(map[uint64]uint64)
 	}
-	return c
+	return c, nil
 }
 
 // Name identifies the policy variant.

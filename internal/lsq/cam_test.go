@@ -1,6 +1,7 @@
 package lsq
 
 import (
+	"errors"
 	"testing"
 
 	"dmdc/internal/energy"
@@ -23,7 +24,7 @@ func issueLoad(p Policy, op *MemOp, cycle uint64) {
 }
 
 func TestCAMDetectsViolation(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16}, energy.Disabled()))
 	// A younger load issues to 0x100 before the older store resolves.
 	ld := newLoad(10, 0x100, 8)
 	issueLoad(c, ld, 5)
@@ -42,7 +43,7 @@ func TestCAMDetectsViolation(t *testing.T) {
 }
 
 func TestCAMNoViolationDifferentAddr(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16}, energy.Disabled()))
 	issueLoad(c, newLoad(10, 0x200, 8), 5)
 	if r := c.StoreResolve(newStore(3, 0x100, 8)); r != nil {
 		t.Error("false violation on disjoint addresses")
@@ -50,7 +51,7 @@ func TestCAMNoViolationDifferentAddr(t *testing.T) {
 }
 
 func TestCAMNoViolationOlderLoad(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16}, energy.Disabled()))
 	issueLoad(c, newLoad(2, 0x100, 8), 5)
 	if r := c.StoreResolve(newStore(3, 0x100, 8)); r != nil {
 		t.Error("older load flagged as violation")
@@ -58,7 +59,7 @@ func TestCAMNoViolationOlderLoad(t *testing.T) {
 }
 
 func TestCAMUnissuedLoadIgnored(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16}, energy.Disabled()))
 	ld := newLoad(10, 0x100, 8)
 	c.LoadDispatch(ld) // in LQ but not issued
 	if r := c.StoreResolve(newStore(3, 0x100, 8)); r != nil {
@@ -67,7 +68,7 @@ func TestCAMUnissuedLoadIgnored(t *testing.T) {
 }
 
 func TestCAMWrongPathLoadIgnored(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16}, energy.Disabled()))
 	ld := newLoad(10, 0x100, 8)
 	ld.WrongPath = true
 	issueLoad(c, ld, 5)
@@ -77,7 +78,7 @@ func TestCAMWrongPathLoadIgnored(t *testing.T) {
 }
 
 func TestCAMOldestViolatorChosen(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16}, energy.Disabled()))
 	issueLoad(c, newLoad(20, 0x100, 8), 5)
 	issueLoad(c, newLoad(12, 0x104, 4), 6)
 	r := c.StoreResolve(newStore(3, 0x100, 8))
@@ -87,7 +88,7 @@ func TestCAMOldestViolatorChosen(t *testing.T) {
 }
 
 func TestCAMPartialOverlapDetected(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16}, energy.Disabled()))
 	issueLoad(c, newLoad(10, 0x104, 4), 5)
 	if r := c.StoreResolve(newStore(3, 0x100, 8)); r == nil {
 		t.Error("partial overlap not detected")
@@ -95,7 +96,7 @@ func TestCAMPartialOverlapDetected(t *testing.T) {
 }
 
 func TestCAMSquashRemovesLoads(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16}, energy.Disabled()))
 	issueLoad(c, newLoad(10, 0x100, 8), 5)
 	issueLoad(c, newLoad(11, 0x108, 8), 6)
 	c.Squash(10)
@@ -105,7 +106,7 @@ func TestCAMSquashRemovesLoads(t *testing.T) {
 }
 
 func TestCAMCommitRemovesLoads(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16}, energy.Disabled()))
 	ld := newLoad(10, 0x100, 8)
 	issueLoad(c, ld, 5)
 	if r := c.LoadCommit(ld); r != nil {
@@ -117,7 +118,7 @@ func TestCAMCommitRemovesLoads(t *testing.T) {
 }
 
 func TestCAMCapacity(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 48}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 48}, energy.Disabled()))
 	if c.LoadCapacity() != 48 {
 		t.Errorf("capacity = %d", c.LoadCapacity())
 	}
@@ -125,7 +126,7 @@ func TestCAMCapacity(t *testing.T) {
 
 func TestCAMYLAFiltering(t *testing.T) {
 	em := energy.NewModel(0)
-	c := NewCAM(CAMConfig{LQSize: 16, Filter: FilterYLA, YLARegs: 8}, em)
+	c := Must(NewCAM(CAMConfig{LQSize: 16, Filter: FilterYLA, YLARegs: 8}, em))
 	// Store younger than every issued load: filtered, no LQ search energy.
 	issueLoad(c, newLoad(5, 0x100, 8), 2)
 	before := em.Of(energy.CompLQ)
@@ -150,7 +151,7 @@ func TestCAMYLAFiltering(t *testing.T) {
 }
 
 func TestCAMYLARecoverClamp(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16, Filter: FilterYLA, YLARegs: 1}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16, Filter: FilterYLA, YLARegs: 1}, energy.Disabled()))
 	// A wrong-path-ish young load pollutes YLA, then recovery clamps it.
 	ld := newLoad(100, 0x100, 8)
 	issueLoad(c, ld, 2)
@@ -168,7 +169,7 @@ func TestCAMYLARecoverClamp(t *testing.T) {
 }
 
 func TestCAMBloomFiltering(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16, Filter: FilterBloom, BloomSize: 64}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16, Filter: FilterBloom, BloomSize: 64}, energy.Disabled()))
 	issueLoad(c, newLoad(10, 0x100, 8), 5)
 	// Store to an address whose bucket is empty: filtered.
 	st := newStore(3, 0x100+8*64*1024, 8)
@@ -190,7 +191,7 @@ func TestCAMBloomFiltering(t *testing.T) {
 }
 
 func TestCAMBloomSquashCleans(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16, Filter: FilterBloom, BloomSize: 64}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16, Filter: FilterBloom, BloomSize: 64}, energy.Disabled()))
 	ld := newLoad(10, 0x100, 8)
 	issueLoad(c, ld, 5)
 	c.Squash(10)
@@ -201,28 +202,36 @@ func TestCAMBloomSquashCleans(t *testing.T) {
 }
 
 func TestCAMNames(t *testing.T) {
-	if NewCAM(CAMConfig{LQSize: 4}, energy.Disabled()).Name() != "cam" {
+	if Must(NewCAM(CAMConfig{LQSize: 4}, energy.Disabled())).Name() != "cam" {
 		t.Error("baseline name wrong")
 	}
-	if NewCAM(CAMConfig{LQSize: 4, Filter: FilterYLA, YLARegs: 8}, energy.Disabled()).Name() != "cam+yla8" {
+	if Must(NewCAM(CAMConfig{LQSize: 4, Filter: FilterYLA, YLARegs: 8}, energy.Disabled())).Name() != "cam+yla8" {
 		t.Error("yla name wrong")
 	}
-	if NewCAM(CAMConfig{LQSize: 4, Filter: FilterBloom, BloomSize: 32}, energy.Disabled()).Name() != "cam+bf32" {
+	if Must(NewCAM(CAMConfig{LQSize: 4, Filter: FilterBloom, BloomSize: 32}, energy.Disabled())).Name() != "cam+bf32" {
 		t.Error("bloom name wrong")
 	}
 }
 
-func TestCAMPanicsOnBadConfig(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("zero LQ size accepted")
-		}
-	}()
-	NewCAM(CAMConfig{}, energy.Disabled())
+func TestCAMRejectsBadConfig(t *testing.T) {
+	_, err := NewCAM(CAMConfig{}, energy.Disabled())
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("zero LQ size: err = %v, want *ConfigError", err)
+	}
+	if ce.Policy != "cam" {
+		t.Errorf("ConfigError.Policy = %q, want cam", ce.Policy)
+	}
+	if _, err := NewCAM(CAMConfig{LQSize: 8, Filter: FilterYLA, YLARegs: 3}, energy.Disabled()); err == nil {
+		t.Error("non-power-of-two YLA register count accepted")
+	}
+	if _, err := NewCAM(CAMConfig{LQSize: 8, Filter: FilterBloom, BloomSize: 48}, energy.Disabled()); err == nil {
+		t.Error("non-power-of-two bloom size accepted")
+	}
 }
 
 func TestCAMReportCauses(t *testing.T) {
-	c := NewCAM(CAMConfig{LQSize: 16}, energy.Disabled())
+	c := Must(NewCAM(CAMConfig{LQSize: 16}, energy.Disabled()))
 	issueLoad(c, newLoad(10, 0x100, 8), 5)
 	c.StoreResolve(newStore(3, 0x100, 8))
 	s := stats.NewSet()

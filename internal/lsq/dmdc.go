@@ -52,21 +52,21 @@ func DefaultDMDCConfig(tableSize, loadCap int) DMDCConfig {
 // Validate reports the first configuration problem, or nil.
 func (c DMDCConfig) Validate() error {
 	if c.QueueSize < 0 {
-		return fmt.Errorf("lsq: negative queue size")
+		return fmt.Errorf("negative queue size")
 	}
 	if c.QueueSize == 0 {
 		if c.TableSize < 2 || c.TableSize&(c.TableSize-1) != 0 {
-			return fmt.Errorf("lsq: checking table size %d must be a power of two ≥ 2", c.TableSize)
+			return fmt.Errorf("checking table size %d must be a power of two ≥ 2", c.TableSize)
 		}
 	}
 	if c.YLARegs < 1 || c.YLARegs&(c.YLARegs-1) != 0 {
-		return fmt.Errorf("lsq: YLA register count %d must be a power of two ≥ 1", c.YLARegs)
+		return fmt.Errorf("YLA register count %d must be a power of two ≥ 1", c.YLARegs)
 	}
 	if c.Coherence && (c.LineYLARegs < 1 || c.LineYLARegs&(c.LineYLARegs-1) != 0) {
-		return fmt.Errorf("lsq: line YLA register count %d must be a power of two ≥ 1", c.LineYLARegs)
+		return fmt.Errorf("line YLA register count %d must be a power of two ≥ 1", c.LineYLARegs)
 	}
 	if c.LoadCap < 1 {
-		return fmt.Errorf("lsq: load capacity %d must be positive", c.LoadCap)
+		return fmt.Errorf("load capacity %d must be positive", c.LoadCap)
 	}
 	return nil
 }
@@ -131,11 +131,11 @@ type DMDC struct {
 	windows, singleStoreWindows   uint64
 }
 
-// NewDMDC builds the policy; em may be energy.Disabled(). It panics on an
-// invalid configuration (static experiment input).
-func NewDMDC(cfg DMDCConfig, em *energy.Model) *DMDC {
+// NewDMDC builds the policy; em may be energy.Disabled(). An invalid
+// configuration yields a *ConfigError.
+func NewDMDC(cfg DMDCConfig, em *energy.Model) (*DMDC, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, &ConfigError{Policy: "dmdc", Err: err}
 	}
 	d := &DMDC{
 		cfg:   cfg,
@@ -152,7 +152,7 @@ func NewDMDC(cfg DMDCConfig, em *energy.Model) *DMDC {
 			d.tblBits++
 		}
 	}
-	return d
+	return d, nil
 }
 
 // Name identifies the variant.

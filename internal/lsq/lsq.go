@@ -13,7 +13,37 @@
 // affecting execution.
 package lsq
 
-import "dmdc/internal/stats"
+import (
+	"fmt"
+
+	"dmdc/internal/stats"
+)
+
+// ConfigError is the typed validation failure returned by policy
+// constructors: the policy name plus the first configuration problem.
+// Constructors return it instead of panicking so experiment drivers can
+// quarantine one bad spec without taking down a whole matrix run.
+type ConfigError struct {
+	Policy string
+	Err    error
+}
+
+// Error renders the labeled problem.
+func (e *ConfigError) Error() string {
+	return fmt.Sprintf("lsq: %s config: %v", e.Policy, e.Err)
+}
+
+// Unwrap exposes the underlying validation error.
+func (e *ConfigError) Unwrap() error { return e.Err }
+
+// Must unwraps a constructor result, panicking on error. For tests and
+// examples whose configurations are static literals.
+func Must[P Policy](p P, err error) P {
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
 
 // MemOp is the record of one in-flight memory instruction, owned by the
 // core and shared with the active policy. Oracle fields (IssueCycle,
@@ -30,6 +60,7 @@ type MemOp struct {
 	IssueCycle   uint64 // cycle the load issued (oracle, for classification)
 	ResolveCycle uint64 // cycle the store's address resolved (oracle)
 	SafeAtIssue  bool   // loads: no older store had an unresolved address at issue
+	FwdSeq       uint64 // loads: Seq of the store the value was forwarded from (oracle; 0 = cache)
 
 	// Policy-owned scratch state.
 	Unsafe  bool   // stores: YLA filter classified this store unsafe
@@ -53,6 +84,7 @@ const (
 	CauseFalseHashY                   // hashing conflict, merged windows
 	CauseOverflow                     // checking-queue overflow forced a conservative replay
 	CauseInvalidation                 // INV-promoted entry (write-serialization enforcement)
+	CauseSpurious                     // fault-injected replay (soundness stress, never organic)
 	numCauses
 )
 
@@ -68,6 +100,7 @@ var causeNames = [...]string{
 	CauseFalseHashY:      "false_hash_y",
 	CauseOverflow:        "overflow",
 	CauseInvalidation:    "invalidation",
+	CauseSpurious:        "spurious",
 }
 
 // String names the cause for reports.

@@ -35,10 +35,10 @@ type ValueBasedConfig struct {
 // Validate reports the first problem, or nil.
 func (c ValueBasedConfig) Validate() error {
 	if c.SVW && (c.SVWSize < 2 || c.SVWSize&(c.SVWSize-1) != 0) {
-		return fmt.Errorf("lsq: SVW size %d must be a power of two ≥ 2", c.SVWSize)
+		return fmt.Errorf("SVW size %d must be a power of two ≥ 2", c.SVWSize)
 	}
 	if c.LoadCap < 1 {
-		return fmt.Errorf("lsq: load capacity %d must be positive", c.LoadCap)
+		return fmt.Errorf("load capacity %d must be positive", c.LoadCap)
 	}
 	return nil
 }
@@ -66,10 +66,11 @@ type ValueBased struct {
 	replays      [NumCauses]uint64
 }
 
-// NewValueBased builds the policy; panics on invalid configuration.
-func NewValueBased(cfg ValueBasedConfig, em *energy.Model) *ValueBased {
+// NewValueBased builds the policy. An invalid configuration yields a
+// *ConfigError.
+func NewValueBased(cfg ValueBasedConfig, em *energy.Model) (*ValueBased, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, &ConfigError{Policy: "value-based", Err: err}
 	}
 	v := &ValueBased{cfg: cfg, em: em}
 	if cfg.SVW {
@@ -79,7 +80,7 @@ func NewValueBased(cfg ValueBasedConfig, em *energy.Model) *ValueBased {
 			v.bits++
 		}
 	}
-	return v
+	return v, nil
 }
 
 // Name identifies the variant.

@@ -1,6 +1,7 @@
 package lsq
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
@@ -9,7 +10,7 @@ import (
 )
 
 func testValueBased(svw bool) *ValueBased {
-	return NewValueBased(ValueBasedConfig{SVW: svw, SVWSize: 1024, LoadCap: 256}, energy.Disabled())
+	return Must(NewValueBased(ValueBasedConfig{SVW: svw, SVWSize: 1024, LoadCap: 256}, energy.Disabled()))
 }
 
 func TestValueBasedConfigValidate(t *testing.T) {
@@ -27,13 +28,12 @@ func TestValueBasedConfigValidate(t *testing.T) {
 	}
 }
 
-func TestValueBasedPanicsOnBadConfig(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Error("no panic")
-		}
-	}()
-	NewValueBased(ValueBasedConfig{}, energy.Disabled())
+func TestValueBasedRejectsBadConfig(t *testing.T) {
+	_, err := NewValueBased(ValueBasedConfig{}, energy.Disabled())
+	var ce *ConfigError
+	if !errors.As(err, &ce) {
+		t.Fatalf("zero load cap: err = %v, want *ConfigError", err)
+	}
 }
 
 // driveValueBased replays a scenario: issues/resolves in time order, then
@@ -188,7 +188,7 @@ func TestValueBasedNames(t *testing.T) {
 
 func TestValueBasedBandwidthAccounting(t *testing.T) {
 	em := energy.NewModel(0)
-	v := NewValueBased(ValueBasedConfig{LoadCap: 64}, em)
+	v := Must(NewValueBased(ValueBasedConfig{LoadCap: 64}, em))
 	for i := 0; i < 100; i++ {
 		ld := newLoad(uint64(i+1), uint64(0x1000+i*8), 8)
 		ld.Issued = true

@@ -38,7 +38,14 @@ import (
 // semantics the cached results were produced under. Bump it whenever a
 // change to the simulator, energy model, workloads, or stats would make
 // previously cached results stale.
-const FormatVersion = 1
+//
+// History:
+//
+//	1 — initial format (PR 1)
+//	2 — soundness layer: Run reports errors instead of panicking, the
+//	    KeySpec gained the Faults field, and faulted runs add the
+//	    faults_injected stat (PR 2)
+const FormatVersion = 2
 
 // entryExt is the suffix of cache entry files.
 const entryExt = ".json"
@@ -58,6 +65,10 @@ type KeySpec struct {
 	Benchmark string `json:"benchmark"`
 	// Insts is the committed-instruction budget.
 	Insts uint64 `json:"insts"`
+	// Faults is the canonical string form of the fault-injection campaign
+	// (soundness.FaultSpec.String()), empty for clean runs. Faults perturb
+	// timing, so faulted and clean results must never share an address.
+	Faults string `json:"faults,omitempty"`
 }
 
 // Key returns the content address for a KeySpec: the hex SHA-256 of its

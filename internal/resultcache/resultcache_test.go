@@ -97,6 +97,9 @@ func TestKeyDiscriminates(t *testing.T) {
 	v = base
 	v.Machine = config.Config1()
 	variants["machine"] = v
+	v = base
+	v.Faults = "storedelay=20@5"
+	variants["faults"] = v
 	for what, ks := range variants {
 		k := Key(ks)
 		if prev, dup := seen[k]; dup {
@@ -129,6 +132,33 @@ func TestVersionMismatch(t *testing.T) {
 	}
 	if _, err := os.Stat(c.path(key)); !os.IsNotExist(err) {
 		t.Error("stale entry not evicted")
+	}
+}
+
+// TestStaleFormatEntryIsMiss: entries written under the previous format
+// version (before the soundness layer changed simulator semantics) must
+// read as misses and be evicted, even when addressed directly.
+func TestStaleFormatEntryIsMiss(t *testing.T) {
+	c, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey()
+	b, err := json.Marshal(entry{Version: FormatVersion - 1, Result: testResult()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(c.path(key), b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Error("previous-format entry served")
+	}
+	if _, err := os.Stat(c.path(key)); !os.IsNotExist(err) {
+		t.Error("previous-format entry not evicted")
+	}
+	if c.Misses() != 1 {
+		t.Errorf("stale read not counted as a miss (%d misses)", c.Misses())
 	}
 }
 

@@ -1,0 +1,98 @@
+package soundness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// ROBSlot is one reorder-buffer entry in a StateDump.
+type ROBSlot struct {
+	Age       uint64
+	State     string // waiting | issued | completed
+	WrongPath bool
+	NotBefore uint64 // earliest re-issue cycle, 0 if none
+	Inst      string // rendered instruction
+}
+
+// String renders the slot as one dump line.
+func (s ROBSlot) String() string {
+	flags := ""
+	if s.WrongPath {
+		flags = " WP"
+	}
+	nb := ""
+	if s.NotBefore > 0 {
+		nb = fmt.Sprintf(" notBefore=%d", s.NotBefore)
+	}
+	return fmt.Sprintf("age=%-6d %-9s%s%s  %s", s.Age, s.State, flags, nb, s.Inst)
+}
+
+// StateDump is a human-readable snapshot of the pipeline, produced by the
+// core when the watchdog trips (and on demand for diagnostics): occupancy
+// of every major structure, a window of the ROB from the head, the active
+// policy's counters, the invariant checker's verdict, and the trailing
+// pipeline events.
+type StateDump struct {
+	Cycle           uint64
+	Committed       uint64
+	LastCommitCycle uint64
+
+	HeadAge       uint64
+	ROBCount      int
+	ROBSize       int
+	IQInt, IQFP   int
+	SQLen         int
+	InflightLoads int
+	FetchQLen     int
+	ReplayQLen    int
+	FetchResume   uint64 // fetch stalled until this cycle (0 = not stalled)
+	WrongPathMode bool
+
+	ROB []ROBSlot // window from the ROB head
+
+	Policy       string
+	PolicyState  string // rendered policy counters
+	InvariantErr string // CheckInvariants failure text, empty if clean
+	Events       []Event
+}
+
+// DumpROBWindow bounds the ROB slice included in a dump.
+const DumpROBWindow = 16
+
+// String renders the full dump.
+func (d *StateDump) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "pipeline state at cycle %d (%d committed, last commit at cycle %d):\n",
+		d.Cycle, d.Committed, d.LastCommitCycle)
+	fmt.Fprintf(&b, "  rob %d/%d head-age=%d | iq int=%d fp=%d | sq=%d | inflight-loads=%d | fetchq=%d replayq=%d",
+		d.ROBCount, d.ROBSize, d.HeadAge, d.IQInt, d.IQFP, d.SQLen, d.InflightLoads, d.FetchQLen, d.ReplayQLen)
+	if d.FetchResume > d.Cycle {
+		fmt.Fprintf(&b, " | fetch-stalled-until=%d", d.FetchResume)
+	}
+	if d.WrongPathMode {
+		b.WriteString(" | fetching-wrong-path")
+	}
+	b.WriteByte('\n')
+	if len(d.ROB) > 0 {
+		fmt.Fprintf(&b, "  rob head window (%d of %d):\n", len(d.ROB), d.ROBCount)
+		for _, slot := range d.ROB {
+			fmt.Fprintf(&b, "    %s\n", slot)
+		}
+	}
+	if d.Policy != "" {
+		fmt.Fprintf(&b, "  policy %s", d.Policy)
+		if d.PolicyState != "" {
+			fmt.Fprintf(&b, ": %s", d.PolicyState)
+		}
+		b.WriteByte('\n')
+	}
+	if d.InvariantErr != "" {
+		fmt.Fprintf(&b, "  invariants: FAILED: %s\n", d.InvariantErr)
+	} else {
+		b.WriteString("  invariants: ok\n")
+	}
+	if len(d.Events) > 0 {
+		fmt.Fprintf(&b, "  last %d pipeline events:\n%s", len(d.Events), FormatEvents(d.Events))
+	}
+	return b.String()
+}

@@ -1,0 +1,230 @@
+package soundness
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// FaultSpec describes a deterministic microarchitectural fault-injection
+// campaign. Every fault perturbs state the dependence-checking machinery
+// must tolerate — none changes the architectural outcome a sound policy
+// commits — so the oracle can assert correctness under all of them:
+//
+//   - invburst=N@P: every P cycles, deliver a burst of N external
+//     invalidations across the workload's data region (the paper's
+//     Section 6.2.4 INV-bit stress, turned adversarial).
+//   - storedelay=D@K: every Kth store's address resolution is delayed an
+//     extra D cycles, widening the window in which younger loads issue
+//     prematurely (forces true violations the policy must catch).
+//   - alias=BYTES: remap all correct-path data addresses into a BYTES-wide
+//     window at AliasBase, creating an adversarial alias storm (maximum
+//     pressure on checking tables, YLA registers, and bloom filters).
+//   - wpalias=BYTES: remap only wrong-path data addresses into the window,
+//     so wrong-path loads corrupt the YLA registers and checking state with
+//     addresses the correct path actually uses. This is the dangerous
+//     direction that stays sound: wrong-path YLA updates only inflate age
+//     registers, forcing extra (conservative) checks, never fewer.
+//   - spurious=K: every Kth load-commit attempt is first hit by a spurious
+//     replay, exercising squash/refetch/re-check paths at commit.
+//   - markwp=AGE: the first correct-path non-branch instruction dispatched
+//     with dynamic age ≥ AGE is forcibly marked wrong-path — a corruption
+//     no real event produces, used to provoke (and regression-test) the
+//     wrong-path-commit error.
+//
+// The zero FaultSpec injects nothing.
+type FaultSpec struct {
+	InvBurstN     int    // invalidations per burst
+	InvBurstEvery uint64 // cycles between bursts (0 = off)
+
+	StoreDelay      uint64 // extra address-resolution delay in cycles
+	StoreDelayEvery uint64 // every Kth store (0 = off)
+
+	AliasBytes   uint64 // correct-path alias window (0 = off)
+	WPAliasBytes uint64 // wrong-path alias window (0 = off)
+
+	SpuriousEvery uint64 // every Kth load-commit attempt (0 = off)
+
+	MarkWPAge uint64 // age to corrupt (0 = off)
+}
+
+// AliasBase is the base address of the alias window the alias/wpalias
+// faults remap data accesses into. It sits outside every synthetic
+// benchmark's working set so aliasing is introduced only by the remap.
+const AliasBase uint64 = 0x4000_0000
+
+// minAliasWindow keeps the remap alignment-preserving: the window is
+// rounded down to a power of two and must cover at least one quad word.
+const minAliasWindow = 64
+
+// Zero reports whether the spec injects nothing.
+func (f FaultSpec) Zero() bool { return f == FaultSpec{} }
+
+// Validate reports the first problem with the spec, or nil.
+func (f FaultSpec) Validate() error {
+	if (f.InvBurstN > 0) != (f.InvBurstEvery > 0) {
+		return fmt.Errorf("soundness: invburst needs both a count and a period (have N=%d P=%d)",
+			f.InvBurstN, f.InvBurstEvery)
+	}
+	if f.InvBurstN < 0 {
+		return fmt.Errorf("soundness: negative invburst count %d", f.InvBurstN)
+	}
+	if (f.StoreDelay > 0) != (f.StoreDelayEvery > 0) {
+		return fmt.Errorf("soundness: storedelay needs both a delay and a period (have D=%d K=%d)",
+			f.StoreDelay, f.StoreDelayEvery)
+	}
+	if f.AliasBytes > 0 && f.AliasBytes < minAliasWindow {
+		return fmt.Errorf("soundness: alias window %d below minimum %d", f.AliasBytes, minAliasWindow)
+	}
+	if f.WPAliasBytes > 0 && f.WPAliasBytes < minAliasWindow {
+		return fmt.Errorf("soundness: wpalias window %d below minimum %d", f.WPAliasBytes, minAliasWindow)
+	}
+	if f.SpuriousEvery == 1 {
+		// A spurious replay on every commit attempt replays the refetched
+		// load forever: livelock by construction, not a useful fault.
+		return fmt.Errorf("soundness: spurious period must be ≥ 2 (1 livelocks the pipeline)")
+	}
+	return nil
+}
+
+// ParseFaultSpec parses the comma-separated command-line form, e.g.
+//
+//	invburst=8@50,storedelay=40@7,alias=4096,spurious=97
+//
+// An empty string yields the zero spec.
+func ParseFaultSpec(s string) (FaultSpec, error) {
+	var f FaultSpec
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return f, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return f, fmt.Errorf("soundness: fault %q is not key=value", part)
+		}
+		key = strings.TrimSpace(key)
+		val = strings.TrimSpace(val)
+		switch key {
+		case "invburst":
+			n, every, err := parseAtPair(val)
+			if err != nil {
+				return f, fmt.Errorf("soundness: invburst: %v (want N@P)", err)
+			}
+			f.InvBurstN, f.InvBurstEvery = int(n), every
+		case "storedelay":
+			d, every, err := parseAtPair(val)
+			if err != nil {
+				return f, fmt.Errorf("soundness: storedelay: %v (want D@K)", err)
+			}
+			f.StoreDelay, f.StoreDelayEvery = d, every
+		case "alias":
+			v, err := parseU64(val)
+			if err != nil {
+				return f, fmt.Errorf("soundness: alias: %v", err)
+			}
+			f.AliasBytes = v
+		case "wpalias":
+			v, err := parseU64(val)
+			if err != nil {
+				return f, fmt.Errorf("soundness: wpalias: %v", err)
+			}
+			f.WPAliasBytes = v
+		case "spurious":
+			v, err := parseU64(val)
+			if err != nil {
+				return f, fmt.Errorf("soundness: spurious: %v", err)
+			}
+			f.SpuriousEvery = v
+		case "markwp":
+			v, err := parseU64(val)
+			if err != nil {
+				return f, fmt.Errorf("soundness: markwp: %v", err)
+			}
+			f.MarkWPAge = v
+		default:
+			return f, fmt.Errorf("soundness: unknown fault %q (known: invburst, storedelay, alias, wpalias, spurious, markwp)", key)
+		}
+	}
+	if err := f.Validate(); err != nil {
+		return f, err
+	}
+	return f, nil
+}
+
+// String renders the spec in its canonical parseable form.
+func (f FaultSpec) String() string {
+	var parts []string
+	if f.InvBurstEvery > 0 {
+		parts = append(parts, fmt.Sprintf("invburst=%d@%d", f.InvBurstN, f.InvBurstEvery))
+	}
+	if f.StoreDelayEvery > 0 {
+		parts = append(parts, fmt.Sprintf("storedelay=%d@%d", f.StoreDelay, f.StoreDelayEvery))
+	}
+	if f.AliasBytes > 0 {
+		parts = append(parts, fmt.Sprintf("alias=%d", f.AliasBytes))
+	}
+	if f.WPAliasBytes > 0 {
+		parts = append(parts, fmt.Sprintf("wpalias=%d", f.WPAliasBytes))
+	}
+	if f.SpuriousEvery > 0 {
+		parts = append(parts, fmt.Sprintf("spurious=%d", f.SpuriousEvery))
+	}
+	if f.MarkWPAge > 0 {
+		parts = append(parts, fmt.Sprintf("markwp=%d", f.MarkWPAge))
+	}
+	return strings.Join(parts, ",")
+}
+
+// parseAtPair parses "A@B" into two positive integers.
+func parseAtPair(s string) (a, b uint64, err error) {
+	left, right, ok := strings.Cut(s, "@")
+	if !ok {
+		return 0, 0, fmt.Errorf("missing @ in %q", s)
+	}
+	if a, err = parseU64(left); err != nil {
+		return 0, 0, err
+	}
+	if b, err = parseU64(right); err != nil {
+		return 0, 0, err
+	}
+	return a, b, nil
+}
+
+func parseU64(s string) (uint64, error) {
+	v, err := strconv.ParseUint(strings.TrimSpace(s), 10, 63)
+	if err != nil {
+		return 0, fmt.Errorf("bad number %q", s)
+	}
+	return v, nil
+}
+
+// RemapAddr maps addr into the alias window [base, base+window'), where
+// window' is window rounded down to a power of two (≥ 64). Because the
+// effective window is a power of two at least as large as any access size
+// and the simulator's addresses are size-aligned, the remapped address
+// keeps its alignment and an access never crosses the window end.
+func RemapAddr(base, addr, window uint64) uint64 {
+	mask := powTwoFloor(window) - 1
+	return base + (addr & mask)
+}
+
+// AliasWindow returns the effective alias-window size for a requested byte
+// count: the power of two the remap actually uses.
+func AliasWindow(bytes uint64) uint64 { return powTwoFloor(bytes) }
+
+// powTwoFloor rounds v down to a power of two (minimum minAliasWindow).
+func powTwoFloor(v uint64) uint64 {
+	if v < minAliasWindow {
+		return minAliasWindow
+	}
+	p := uint64(minAliasWindow)
+	for p<<1 != 0 && p<<1 <= v {
+		p <<= 1
+	}
+	return p
+}

@@ -1,0 +1,85 @@
+// Package soundness is the simulator's verification layer: a lockstep
+// architectural oracle that checks every committed instruction against an
+// in-order reference model, a deterministic microarchitectural fault
+// injector that stresses the replay machinery, and the diagnostic types
+// (typed errors, pipeline event ring, state dumps) the core uses to report
+// what went wrong instead of panicking.
+//
+// The package deliberately imports only isa/lsq/stats so internal/core can
+// depend on it without a cycle; the core feeds the oracle through narrow
+// hooks (Commit, LoadIssued, Squashed) and builds StateDumps itself.
+package soundness
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Kind classifies a soundness violation.
+type Kind string
+
+// Violation kinds.
+const (
+	// KindStreamDivergence: the committed instruction stream diverged from
+	// the in-order reference model (wrong instruction reached commit).
+	KindStreamDivergence Kind = "stream-divergence"
+	// KindLoadValue: a committed load observed a memory value different
+	// from what the architectural memory model holds (a mis-speculated
+	// load slipped past the dependence-checking policy).
+	KindLoadValue Kind = "load-value"
+	// KindWrongPathCommit: a wrong-path instruction reached the ROB head.
+	KindWrongPathCommit Kind = "wrong-path-commit"
+	// KindInvariant: a periodic CheckInvariants sweep failed.
+	KindInvariant Kind = "invariant"
+)
+
+// SoundnessError reports the first bad commit (or invariant failure) with
+// enough context to debug it: the dynamic age, PC and sequence number of
+// the offending instruction, both the observed and the architecturally
+// correct value, and a ring-buffer snapshot of the pipeline events leading
+// up to the divergence.
+type SoundnessError struct {
+	Kind   Kind
+	Age    uint64
+	PC     uint64
+	Seq    uint64
+	Cycle  uint64
+	Commit uint64 // committed-instruction index of the bad commit
+	Got    string
+	Want   string
+	Events []Event
+}
+
+// Error renders the violation with the trailing event window.
+func (e *SoundnessError) Error() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "soundness: %s at commit #%d (cycle %d, age %d, pc %#x, seq %d): got %s, want %s",
+		e.Kind, e.Commit, e.Cycle, e.Age, e.PC, e.Seq, e.Got, e.Want)
+	if len(e.Events) > 0 {
+		fmt.Fprintf(&b, "\nlast %d pipeline events:\n%s", len(e.Events), FormatEvents(e.Events))
+	}
+	return b.String()
+}
+
+// WatchdogError reports a pipeline that stopped making forward progress:
+// no instruction committed for more than the configured cycle budget. It
+// wraps a full pipeline-state dump instead of crashing the process.
+type WatchdogError struct {
+	Budget uint64 // allowed cycles without a commit
+	Cycle  uint64 // cycle the watchdog tripped
+	Dump   *StateDump
+}
+
+// Error renders the trip and the state dump.
+func (e *WatchdogError) Error() string {
+	stalled := e.Cycle
+	if e.Dump != nil {
+		stalled = e.Cycle - e.Dump.LastCommitCycle
+	}
+	s := fmt.Sprintf("core watchdog: no commit for %d cycles (budget %d) at cycle %d",
+		stalled, e.Budget, e.Cycle)
+	if e.Dump != nil {
+		s += "\n" + e.Dump.String()
+	}
+	return s
+}

@@ -1,0 +1,37 @@
+package soundness
+
+import "dmdc/internal/lsq"
+
+// Unsound wraps a policy and suppresses every replay it demands, making
+// the wrapped scheme deliberately broken: premature loads commit stale
+// values unchecked. It exists to prove the oracle works — a run with an
+// Unsound policy and the oracle enabled must fail with a load-value
+// SoundnessError naming the first bad commit — and as the "unsound"
+// policy selectable from cmd/dmdcsim for demonstrations.
+type Unsound struct {
+	lsq.Policy
+	// Suppressed counts the replays the wrapper swallowed.
+	Suppressed uint64
+}
+
+// NewUnsound wraps p.
+func NewUnsound(p lsq.Policy) *Unsound { return &Unsound{Policy: p} }
+
+// Name labels the wrapped policy.
+func (u *Unsound) Name() string { return "unsound(" + u.Policy.Name() + ")" }
+
+// StoreResolve drops the inner policy's replay demand.
+func (u *Unsound) StoreResolve(op *lsq.MemOp) *lsq.Replay {
+	if r := u.Policy.StoreResolve(op); r != nil {
+		u.Suppressed++
+	}
+	return nil
+}
+
+// LoadCommit drops the inner policy's replay demand.
+func (u *Unsound) LoadCommit(op *lsq.MemOp) *lsq.Replay {
+	if r := u.Policy.LoadCommit(op); r != nil {
+		u.Suppressed++
+	}
+	return nil
+}

@@ -117,18 +117,18 @@ func TestReplayThroughPipeline(t *testing.T) {
 	}
 	cfg := config.Config2()
 	em := energy.NewModel(cfg.CoreSize())
-	pol := lsq.NewDMDC(lsq.DefaultDMDCConfig(cfg.CheckTable, cfg.ROBSize), em)
+	pol := lsq.Must(lsq.NewDMDC(lsq.DefaultDMDCConfig(cfg.CheckTable, cfg.ROBSize), em))
 	prof, _ := trace.ByName("gzip")
 	ref := trace.NewGenerator(prof)
 	var mismatches, commits int
-	sim := core.NewWithWorkload(cfg, rd, pol, em, core.WithCommitHook(func(in isa.Inst) {
+	sim := core.MustSim(core.NewWithWorkload(cfg, rd, pol, em, core.WithCommitHook(func(in isa.Inst) {
 		want := ref.Next()
 		if commits < n && (in.PC != want.PC || in.Op != want.Op || in.Addr != want.Addr) {
 			mismatches++
 		}
 		commits++
-	}))
-	r := sim.Run(n - 100) // stay within one pass of the trace
+	})))
+	r := sim.MustRun(n - 100) // stay within one pass of the trace
 	if mismatches > 0 {
 		t.Fatalf("%d commits diverged from the recorded trace", mismatches)
 	}
@@ -150,8 +150,8 @@ func TestReplayDeterminism(t *testing.T) {
 		}
 		cfg := config.Config1()
 		em := energy.NewModel(cfg.CoreSize())
-		pol := lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em)
-		return core.NewWithWorkload(cfg, rd, pol, em).Run(9000).Cycles
+		pol := lsq.Must(lsq.NewCAM(lsq.CAMConfig{LQSize: cfg.LQSize}, em))
+		return core.MustSim(core.NewWithWorkload(cfg, rd, pol, em)).MustRun(9000).Cycles
 	}
 	if a, b := run(), run(); a != b {
 		t.Errorf("replay not deterministic: %d vs %d cycles", a, b)
