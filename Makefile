@@ -8,13 +8,18 @@
 #                    soundness suite (oracle, fault injection, watchdog)
 #                    and a short fuzz pass over both fuzz targets
 #   make fuzz-short  60s split across the fuzz targets
-#   make bench       short benchmark pass
+#   make bench       simulator-throughput benchmarks (BENCH_COUNT reps),
+#                    medians recorded into BENCH_core.json via cmd/benchjson
+#   make bench-smoke one-iteration run of the simulator benchmarks — a fast
+#                    "do the benchmarks still work" gate, part of `check`
+#   make bench-all   every artifact benchmark once (slow)
 #   make report      regenerate the full paper report with a warm cache
 
 GO ?= go
 CACHE_DIR ?= .dmdc-cache
+BENCH_COUNT ?= 5
 
-.PHONY: all build test check vet race soundness fuzz-short bench report clean-cache
+.PHONY: all build test check vet race soundness fuzz-short bench bench-smoke bench-all report clean-cache
 
 all: build test check
 
@@ -44,9 +49,19 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzPolicySoundness -fuzztime 40s ./internal/lsq/
 	$(GO) test -run '^$$' -fuzz FuzzFaultSpecParse -fuzztime 20s ./internal/soundness/
 
-check: vet race soundness fuzz-short
+check: vet race soundness bench-smoke fuzz-short
 
+# Core-simulator throughput, recorded. Medians over BENCH_COUNT repetitions
+# land in the "current" section of BENCH_core.json; the "pre_pr3" section
+# holds the pre-optimization numbers the speedup ratios compare against.
 bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC)$$' -benchtime 30x -count $(BENCH_COUNT) -benchmem . \
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_core.json
+
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC)$$' -benchtime 1x .
+
+bench-all:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...
 
 report:

@@ -1,0 +1,136 @@
+// Command benchjson converts `go test -bench` output on stdin into a
+// labeled section of a JSON ledger (BENCH_core.json by default), so
+// throughput claims in the repo are pinned to machine-readable numbers
+// rather than prose.
+//
+// Repeated runs of the same benchmark (-count N) are reduced to their
+// median, which is robust to scheduling noise on shared machines. When the
+// ledger holds both the section being written and the comparison section
+// (-base), the tool recomputes ns/op speedup ratios for the simulator
+// benchmarks.
+//
+// Usage:
+//
+//	go test -run '^$' -bench 'BenchmarkSim' -count 5 -benchmem . | benchjson
+//	... | benchjson -out BENCH_core.json -label current -base pre_pr3
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+)
+
+func main() {
+	var (
+		out   = flag.String("out", "BENCH_core.json", "JSON ledger to update in place")
+		label = flag.String("label", "current", "section name to (over)write")
+		base  = flag.String("base", "pre_pr3", "section to compute speedups against")
+	)
+	flag.Parse()
+
+	benches, err := ParseBench(os.Stdin)
+	if err != nil {
+		die(err)
+	}
+	if len(benches) == 0 {
+		die(fmt.Errorf("no benchmark lines on stdin"))
+	}
+
+	ledger, err := loadLedger(*out)
+	if err != nil {
+		die(err)
+	}
+	ledger.Sections[*label] = Section{
+		Recorded:   time.Now().UTC().Format("2006-01-02"),
+		Benchmarks: benches,
+	}
+	ledger.computeSpeedups(*base, *label)
+
+	b, err := json.MarshalIndent(ledger, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	if err := os.WriteFile(*out, append(b, '\n'), 0o644); err != nil {
+		die(err)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to section %q of %s\n",
+		len(benches), *label, *out)
+}
+
+// Ledger is the whole BENCH_core.json document.
+type Ledger struct {
+	// Note documents the measurement protocol.
+	Note string `json:"note,omitempty"`
+	// Sections maps a label (e.g. "pre_pr3", "current") to one recorded
+	// benchmark run.
+	Sections map[string]Section `json:"sections"`
+	// Speedups holds base-ns/op ÷ label-ns/op per benchmark present in
+	// both compared sections; >1 means the newer section is faster.
+	Speedups map[string]float64 `json:"speedups,omitempty"`
+	// SpeedupOf names the sections the ratios compare ("base -> label").
+	SpeedupOf string `json:"speedup_of,omitempty"`
+}
+
+// Section is one recorded benchmark run.
+type Section struct {
+	Recorded   string               `json:"recorded"`
+	Benchmarks map[string]BenchLine `json:"benchmarks"`
+}
+
+// BenchLine is the median of one benchmark's repetitions. Only ns/op is
+// always present; the rest appear when -benchmem or ReportMetric apply.
+type BenchLine struct {
+	Runs        int     `json:"runs"` // repetitions folded into the median
+	NsPerOp     float64 `json:"ns_per_op"`
+	InstsPerSec float64 `json:"insts_per_sec,omitempty"`
+	BytesPerOp  float64 `json:"bytes_per_op,omitempty"`
+	AllocsPerOp float64 `json:"allocs_per_op,omitempty"`
+}
+
+func loadLedger(path string) (*Ledger, error) {
+	l := &Ledger{Sections: map[string]Section{}}
+	b, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return l, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := json.Unmarshal(b, l); err != nil {
+		return nil, fmt.Errorf("%s: %w (fix or remove the ledger)", path, err)
+	}
+	if l.Sections == nil {
+		l.Sections = map[string]Section{}
+	}
+	return l, nil
+}
+
+func (l *Ledger) computeSpeedups(base, label string) {
+	bs, okB := l.Sections[base]
+	cs, okC := l.Sections[label]
+	if !okB || !okC || base == label {
+		return
+	}
+	l.Speedups = map[string]float64{}
+	l.SpeedupOf = base + " -> " + label
+	for name, cur := range cs.Benchmarks {
+		if old, ok := bs.Benchmarks[name]; ok && cur.NsPerOp > 0 {
+			l.Speedups[name] = old.NsPerOp / cur.NsPerOp
+		}
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "benchjson:", err)
+	os.Exit(1)
+}
+
+// ParseBench reads `go test -bench` output and reduces repeated lines per
+// benchmark to their median.
+func ParseBench(r *os.File) (map[string]BenchLine, error) {
+	return parseBench(bufio.NewScanner(r))
+}

@@ -1,0 +1,93 @@
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// samples accumulates the per-repetition values of one benchmark.
+type samples struct {
+	ns     []float64
+	insts  []float64
+	bytes  []float64
+	allocs []float64
+}
+
+// parseBench scans `go test -bench` output. Benchmark lines look like
+//
+//	BenchmarkSimBaseline-8   30   48219692 ns/op   1036924 insts/s   1162836 B/op   7786 allocs/op
+//
+// i.e. a name (with an optional -GOMAXPROCS suffix), an iteration count,
+// then value/unit pairs. Everything else (headers, ok lines, PASS) is
+// ignored.
+func parseBench(sc *bufio.Scanner) (map[string]BenchLine, error) {
+	acc := map[string]*samples{}
+	for sc.Scan() {
+		f := strings.Fields(sc.Text())
+		if len(f) < 4 || !strings.HasPrefix(f[0], "Benchmark") {
+			continue
+		}
+		if _, err := strconv.Atoi(f[1]); err != nil {
+			continue // not an iteration count: some other Benchmark* text
+		}
+		name := f[0]
+		if i := strings.LastIndexByte(name, '-'); i > 0 {
+			if _, err := strconv.Atoi(name[i+1:]); err == nil {
+				name = name[:i] // strip the -GOMAXPROCS suffix
+			}
+		}
+		s := acc[name]
+		if s == nil {
+			s = &samples{}
+			acc[name] = s
+		}
+		for i := 2; i+1 < len(f); i += 2 {
+			v, err := strconv.ParseFloat(f[i], 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad value %q in line %q", f[i], sc.Text())
+			}
+			switch f[i+1] {
+			case "ns/op":
+				s.ns = append(s.ns, v)
+			case "insts/s":
+				s.insts = append(s.insts, v)
+			case "B/op":
+				s.bytes = append(s.bytes, v)
+			case "allocs/op":
+				s.allocs = append(s.allocs, v)
+			}
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	out := map[string]BenchLine{}
+	for name, s := range acc {
+		out[name] = BenchLine{
+			Runs:        len(s.ns),
+			NsPerOp:     median(s.ns),
+			InstsPerSec: median(s.insts),
+			BytesPerOp:  median(s.bytes),
+			AllocsPerOp: median(s.allocs),
+		}
+	}
+	return out, nil
+}
+
+// median returns the middle value (mean of the two middles for even n),
+// or zero for an empty slice.
+func median(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 0
+	}
+	s := append([]float64(nil), vs...)
+	sort.Float64s(s)
+	n := len(s)
+	if n%2 == 1 {
+		return s[n/2]
+	}
+	return (s[n/2-1] + s[n/2]) / 2
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"bufio"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: dmdc
+cpu: whatever
+BenchmarkSimBaseline-8   	      30	  50000000 ns/op	 1000000 insts/s	 1162836 B/op	    7786 allocs/op
+BenchmarkSimBaseline-8   	      30	  48000000 ns/op	 1040000 insts/s	 1162836 B/op	    7786 allocs/op
+BenchmarkSimBaseline-8   	      30	  52000000 ns/op	  960000 insts/s	 1162836 B/op	    7786 allocs/op
+BenchmarkSimDMDC-8       	      30	  46000000 ns/op	 1090000 insts/s	 1296961 B/op	    7966 allocs/op
+PASS
+ok  	dmdc	9.206s
+`
+
+func TestParseBenchMedians(t *testing.T) {
+	got, err := parseBench(bufio.NewScanner(strings.NewReader(sampleOutput)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 {
+		t.Fatalf("parsed %d benchmarks, want 2", len(got))
+	}
+	base := got["BenchmarkSimBaseline"]
+	if base.Runs != 3 {
+		t.Errorf("runs = %d, want 3", base.Runs)
+	}
+	if base.NsPerOp != 50000000 {
+		t.Errorf("median ns/op = %g, want 5e7", base.NsPerOp)
+	}
+	if base.InstsPerSec != 1000000 {
+		t.Errorf("median insts/s = %g, want 1e6", base.InstsPerSec)
+	}
+	if base.BytesPerOp != 1162836 || base.AllocsPerOp != 7786 {
+		t.Errorf("mem stats = %g B/op %g allocs/op", base.BytesPerOp, base.AllocsPerOp)
+	}
+	dmdc := got["BenchmarkSimDMDC"]
+	if dmdc.Runs != 1 || dmdc.NsPerOp != 46000000 {
+		t.Errorf("dmdc = %+v", dmdc)
+	}
+}
+
+func TestParseBenchEvenCount(t *testing.T) {
+	in := "BenchmarkX-4 10 100 ns/op\nBenchmarkX-4 10 200 ns/op\n"
+	got, err := parseBench(bufio.NewScanner(strings.NewReader(in)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v := got["BenchmarkX"].NsPerOp; v != 150 {
+		t.Errorf("even-count median = %g, want 150", v)
+	}
+}
+
+func TestSpeedups(t *testing.T) {
+	l := &Ledger{Sections: map[string]Section{
+		"pre": {Benchmarks: map[string]BenchLine{
+			"BenchmarkSimBaseline": {NsPerOp: 75e6},
+			"BenchmarkOnlyOld":     {NsPerOp: 1},
+		}},
+		"cur": {Benchmarks: map[string]BenchLine{
+			"BenchmarkSimBaseline": {NsPerOp: 50e6},
+			"BenchmarkOnlyNew":     {NsPerOp: 1},
+		}},
+	}}
+	l.computeSpeedups("pre", "cur")
+	if got := l.Speedups["BenchmarkSimBaseline"]; got != 1.5 {
+		t.Errorf("speedup = %g, want 1.5", got)
+	}
+	if _, ok := l.Speedups["BenchmarkOnlyOld"]; ok {
+		t.Error("speedup computed for benchmark absent from current section")
+	}
+	if _, ok := l.Speedups["BenchmarkOnlyNew"]; ok {
+		t.Error("speedup computed for benchmark absent from base section")
+	}
+}

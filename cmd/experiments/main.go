@@ -20,6 +20,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"dmdc/internal/experiments"
@@ -30,6 +32,8 @@ import (
 func main() {
 	var (
 		insts      = flag.Uint64("insts", 1_000_000, "instructions per benchmark")
+		cpuProf    = flag.String("cpuprofile", "", "write a CPU profile to this file (analyse with `go tool pprof`)")
+		memProf    = flag.String("memprofile", "", "write a heap profile to this file at exit")
 		par        = flag.Int("par", 0, "parallel simulations (0 = GOMAXPROCS)")
 		only       = flag.String("only", "", "single artifact: figure2, figure3, figure4, figure5, table2, table3, table4, table5, table6, yla, sqfilter, safeloads, queue, tablesweep, ylasweep, sqfilter-ext, clamp, extensions, relatedwork, detail, verification")
 		out        = flag.String("out", "", "also write the report to this file")
@@ -44,6 +48,13 @@ func main() {
 		wdCycles   = flag.Uint64("watchdog-cycles", 0, "fail a run when no instruction commits for this many cycles (0 = default budget)")
 	)
 	flag.Parse()
+
+	stop, err := startProfiles(*cpuProf, *memProf)
+	if err != nil {
+		die(err)
+	}
+	profileStop = stop
+	defer stop()
 
 	if *cacheClear {
 		if *cacheDir == "" {
@@ -186,7 +197,54 @@ func checkRuns(s *experiments.Suite) {
 	}
 }
 
+// profileStop flushes any active profiles; die runs it before exiting so a
+// failed run still leaves usable profiles behind (os.Exit skips defers).
+var profileStop = func() {}
+
+// startProfiles starts CPU profiling and returns an idempotent stop
+// function that also snapshots the heap profile, matching the -cpuprofile
+// and -memprofile conventions of `go test`.
+func startProfiles(cpu, mem string) (func(), error) {
+	cpuDone := func() {}
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuDone = func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}
+	}
+	stopped := false
+	return func() {
+		if stopped {
+			return
+		}
+		stopped = true
+		cpuDone()
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // materialize the live set before snapshotting
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: memprofile:", err)
+		}
+	}, nil
+}
+
 func die(err error) {
+	profileStop()
 	fmt.Fprintln(os.Stderr, "experiments:", err)
 	os.Exit(1)
 }

@@ -51,6 +51,8 @@ type Cache struct {
 	cfg        Config
 	sets       [][]line
 	nSets      uint64
+	setMask    uint64 // nSets-1; set counts are validated powers of two
+	setShift   uint   // log2(nSets)
 	lineShift  uint
 	next       *Cache
 	memLatency int
@@ -79,6 +81,10 @@ func New(cfg Config, next *Cache, memLatency int) (*Cache, error) {
 	for s := cfg.LineB; s > 1; s >>= 1 {
 		c.lineShift++
 	}
+	c.setMask = c.nSets - 1
+	for s := c.nSets; s > 1; s >>= 1 {
+		c.setShift++
+	}
 	c.sets = make([][]line, c.nSets)
 	backing := make([]line, int(c.nSets)*cfg.Ways)
 	for i := range c.sets {
@@ -102,9 +108,12 @@ func (c *Cache) Config() Config { return c.cfg }
 // LineB returns the line size in bytes.
 func (c *Cache) LineB() int { return c.cfg.LineB }
 
+// indexTag splits an address into set index and tag. Set counts are
+// powers of two, so the div/mod pair reduces to mask and shift — this is
+// on the path of every cache access the simulator models.
 func (c *Cache) indexTag(addr uint64) (uint64, uint64) {
 	lineAddr := addr >> c.lineShift
-	return lineAddr % c.nSets, lineAddr / c.nSets
+	return lineAddr & c.setMask, lineAddr >> c.setShift
 }
 
 // Access performs a read (write=false) or write (write=true) and returns

@@ -37,7 +37,7 @@ func (s *Sim) commitStage() {
 			return
 		}
 		age := e.age
-		s.pol.InstCommit(age)
+		s.polInstCommit(age)
 		op := e.inst.Op
 		switch {
 		case op.IsLoad():
@@ -52,7 +52,7 @@ func (s *Sim) commitStage() {
 					return
 				}
 			}
-			if r := s.pol.LoadCommit(e.mem); r != nil {
+			if r := s.polLoadCommit(e.mem); r != nil {
 				// Delayed check fired: the load must re-execute. Squash
 				// from the load itself and refetch; it does not commit.
 				s.replay(r)
@@ -88,14 +88,25 @@ func (s *Sim) commitStage() {
 				s.regProducer[e.inst.Dest] = 0
 			}
 		}
-		s.traceEvent("CM", age, &e.inst, "")
+		// The instruction is past every commit-side hook (policy, monitors,
+		// oracle); its MemOp can go back on the free list.
+		if e.mem != nil {
+			s.freeMemOp(e.mem)
+			e.mem = nil
+		}
+		if s.tracing {
+			s.traceEvent("CM", age, &e.inst, "")
+		}
 		s.em.Add(energy.CompROB, s.costROB)
 		if s.commitHook != nil {
 			s.commitHook(e.inst)
 		}
 		s.committed++
 		s.lastCommitCycle = s.cycle
-		s.headIdx = (s.headIdx + 1) % len(s.rob)
+		s.headIdx++
+		if s.headIdx == len(s.rob) {
+			s.headIdx = 0
+		}
 		s.headAge++
 		s.count--
 	}
@@ -160,8 +171,12 @@ func (s *Sim) unresolvedMispredictBefore(age uint64) bool {
 	if !s.wpActive {
 		return false
 	}
+	idx := s.headIdx
 	for k := 0; k < s.count; k++ {
-		e := &s.rob[(s.headIdx+k)%len(s.rob)]
+		e := &s.rob[idx]
+		if idx++; idx == len(s.rob) {
+			idx = 0
+		}
 		if e.age >= age {
 			break // ROB is age-ordered; nothing older remains
 		}
@@ -259,6 +274,25 @@ func (s *Sim) squashAfter(keepAge uint64, save bool) {
 	for _, m := range s.monitors {
 		m.Squash(from)
 	}
+	// The policy and monitors have dropped every reference to the squashed
+	// suffix; recycle its MemOps. The slots stay in the rob array until a
+	// later insert overwrites them, so clear the pointers too. (idxOf wants
+	// a live age and from is no longer one, but its offset from the head is
+	// still within the ring, so the same arithmetic applies.)
+	idx := s.headIdx + int(from-s.headAge)
+	if idx >= len(s.rob) {
+		idx -= len(s.rob)
+	}
+	for age := from; age <= tailAge; age++ {
+		e := &s.rob[idx]
+		if idx++; idx == len(s.rob) {
+			idx = 0
+		}
+		if e.mem != nil {
+			s.freeMemOp(e.mem)
+			e.mem = nil
+		}
+	}
 	s.flushFetchQ(save, saved)
 }
 
@@ -269,16 +303,18 @@ func (s *Sim) squashAfter(keepAge uint64, save bool) {
 func (s *Sim) flushFetchQ(save bool, savedROB []isa.Inst) {
 	if save {
 		saved := savedROB
-		for i := range s.fetchQ {
+		for i := s.fqHead; i < len(s.fetchQ); i++ {
 			if !s.fetchQ[i].wrongPath {
 				saved = append(saved, s.fetchQ[i].inst)
 			}
 		}
 		if len(saved) > 0 {
-			s.replayQ = append(saved, s.replayQ...)
+			s.replayQ = append(saved, s.replayQ[s.rqHead:]...)
+			s.rqHead = 0
 		}
 	}
 	s.fetchQ = s.fetchQ[:0]
+	s.fqHead = 0
 }
 
 // rebuildProducers reconstructs the architectural-register producer map
@@ -287,8 +323,12 @@ func (s *Sim) rebuildProducers() {
 	for i := range s.regProducer {
 		s.regProducer[i] = 0
 	}
+	idx := s.headIdx
 	for k := 0; k < s.count; k++ {
-		e := &s.rob[(s.headIdx+k)%len(s.rob)]
+		e := &s.rob[idx]
+		if idx++; idx == len(s.rob) {
+			idx = 0
+		}
 		if e.inst.HasDest() {
 			s.regProducer[e.inst.Dest] = e.age
 		}

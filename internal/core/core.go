@@ -34,25 +34,37 @@ const (
 	stCompleted              // result available / ready to commit
 )
 
-// entry is one ROB slot.
+// entry is one ROB slot. Field order is deliberate: the issue-stage scan
+// re-reads age, notBefore, the producer links, state, and the store flags
+// for every waiting instruction every cycle, so those fields are packed
+// into the leading 64 bytes (one cache line); the bulkier instruction and
+// branch state follow.
 type entry struct {
-	inst      isa.Inst
 	age       uint64
-	epoch     uint32 // squash generation; invalidates stale events on recycled ages
-	wrongPath bool
-	state     uint8
 	notBefore uint64 // earliest cycle the op may (re)attempt issue
+
+	// Producer ages of the source operands, captured at rename time
+	// (0 means the value was already architectural). srcNPtr points at the
+	// producer's ROB slot so readiness checks skip the age-to-slot
+	// arithmetic; it is cleared the first time the producer is seen
+	// completed (readiness is monotonic: squashing the older producer
+	// always squashes this younger consumer too).
+	src1Prod uint64
+	src2Prod uint64
+	src1Ptr  *entry
+	src2Ptr  *entry
 
 	mem *lsq.MemOp
 
-	// Producer ages of the source operands, captured at rename time
-	// (0 means the value was already architectural).
-	src1Prod uint64
-	src2Prod uint64
+	epoch     uint32 // squash generation; invalidates stale events on recycled ages
+	state     uint8
+	wrongPath bool
 
 	// Store operand tracking.
 	addrResolved bool
 	dataReady    bool
+
+	inst isa.Inst
 
 	// Branch state.
 	pred         bpred.Prediction
@@ -126,9 +138,13 @@ type Sim struct {
 	count   int
 	headAge uint64
 
-	// Fetch plumbing.
+	// Fetch plumbing. fetchQ and replayQ are consumed from the front; both
+	// use a head index instead of re-slicing so a pop is O(1), with
+	// occasional compaction to keep the backing arrays bounded.
 	fetchQ      []fetchedInst
+	fqHead      int
 	replayQ     []isa.Inst // correct-path instructions to re-inject after a replay
+	rqHead      int
 	wpActive    bool
 	wpStream    InstSource
 	wpBranchAge uint64
@@ -155,6 +171,23 @@ type Sim struct {
 
 	// In-flight load count (policy capacity gate).
 	inflightLoads int
+	loadCap       int // policy LoadCapacity, resolved once at construction
+
+	// Free list of MemOp structs. Every memory instruction needs one, and
+	// without pooling they account for roughly a fifth of all allocations;
+	// commit and squash return them here and insert reuses them.
+	memFree []*lsq.MemOp
+
+	// Concrete fast paths for the two hot policy implementations. Resolved
+	// once at construction; the per-cycle and per-commit policy calls branch
+	// on these instead of dispatching through the interface, which lets the
+	// compiler inline the no-op and two-counter bodies.
+	polCAM  *lsq.CAM
+	polDMDC *lsq.DMDC
+
+	// tracing caches (ring != nil || ptrace != nil) so hot stages can skip
+	// the traceEvent call (and its argument setup) with one flag test.
+	tracing bool
 
 	// Optional store-side age filter (Section 3 extension).
 	sqFilter         bool
@@ -254,6 +287,17 @@ func NewWithWorkload(cfg config.Machine, wl Workload, pol lsq.Policy, em *energy
 	if err := s.finishSoundness(); err != nil {
 		return nil, err
 	}
+	// Resolve the hot-path shortcuts once, after every option has run: the
+	// policy's capacity gate, the concrete policy fast paths, and whether
+	// any tracing sink is attached.
+	s.loadCap = pol.LoadCapacity()
+	switch p := pol.(type) {
+	case *lsq.CAM:
+		s.polCAM = p
+	case *lsq.DMDC:
+		s.polDMDC = p
+	}
+	s.tracing = s.ring != nil || s.ptrace != nil
 	s.lastGenPC = s.wl.EntryPC()
 	return s, nil
 }
@@ -274,9 +318,16 @@ func (s *Sim) initCosts() {
 	s.costALU = 0.45
 }
 
-// idxOf maps a live age to its ROB slot.
+// idxOf maps a live age to its ROB slot. For a live age the offset from
+// the head is below the ROB size, so one conditional subtract replaces the
+// modulo — an integer division by a non-constant that the issue loop
+// otherwise pays per operand check.
 func (s *Sim) idxOf(age uint64) int {
-	return (s.headIdx + int(age-s.headAge)) % len(s.rob)
+	i := s.headIdx + int(age-s.headAge)
+	if n := len(s.rob); i >= n {
+		i -= n
+	}
+	return i
 }
 
 // live reports whether age denotes a current ROB entry.
@@ -296,14 +347,100 @@ func (s *Sim) lookupProducer(reg int16) uint64 {
 	return s.regProducer[reg]
 }
 
-// producerReady reports whether the producer captured at rename time has
-// completed (or has committed / never existed). Recycled ages cannot alias
-// here: a live consumer's producer age is always below the recycling point.
-func (s *Sim) producerReady(prodAge uint64) bool {
-	if prodAge == 0 || !s.live(prodAge) {
-		return true
+// srcReady reports whether the producer captured at rename time has
+// completed, checking through the captured slot pointer: the producer is
+// done when its slot was reused (it committed — a recycled age can never
+// equal prodAge, because recycling starts above every surviving consumer's
+// producer age) or when it sits completed in place. Callers pass a non-nil
+// ptr; a nil slot pointer already means ready.
+func srcReady(ptr *entry, prodAge uint64) bool {
+	return ptr.age != prodAge || ptr.state == stCompleted
+}
+
+// allocMemOp takes a MemOp from the free list (or the heap when empty).
+// The caller overwrites every field, so no reset happens here.
+func (s *Sim) allocMemOp() *lsq.MemOp {
+	if n := len(s.memFree); n > 0 {
+		op := s.memFree[n-1]
+		s.memFree = s.memFree[:n-1]
+		return op
 	}
-	return s.entryOf(prodAge).state == stCompleted
+	return new(lsq.MemOp)
+}
+
+// freeMemOp returns a MemOp to the free list. Callers must guarantee no
+// policy or monitor still holds the pointer: commit frees after the last
+// commit-side hook has run, squash after Policy.Squash has dropped the
+// squashed suffix.
+func (s *Sim) freeMemOp(op *lsq.MemOp) { s.memFree = append(s.memFree, op) }
+
+// The pol* wrappers are the concrete fast path for the per-cycle and
+// per-commit policy calls: they branch on the two hot implementations
+// resolved at construction instead of dispatching through the interface,
+// so the CAM no-ops and the DMDC counter ticks inline away.
+
+func (s *Sim) polTick() {
+	switch {
+	case s.polCAM != nil: // Tick is a no-op
+	case s.polDMDC != nil:
+		s.polDMDC.Tick()
+	default:
+		s.pol.Tick()
+	}
+}
+
+func (s *Sim) polInstCommit(age uint64) {
+	switch {
+	case s.polCAM != nil: // InstCommit is a no-op
+	case s.polDMDC != nil:
+		s.polDMDC.InstCommit(age)
+	default:
+		s.pol.InstCommit(age)
+	}
+}
+
+func (s *Sim) polLoadCommit(op *lsq.MemOp) *lsq.Replay {
+	switch {
+	case s.polCAM != nil:
+		return s.polCAM.LoadCommit(op)
+	case s.polDMDC != nil:
+		return s.polDMDC.LoadCommit(op)
+	default:
+		return s.pol.LoadCommit(op)
+	}
+}
+
+func (s *Sim) polLoadDispatch(op *lsq.MemOp) {
+	switch {
+	case s.polCAM != nil:
+		s.polCAM.LoadDispatch(op)
+	case s.polDMDC != nil:
+		s.polDMDC.LoadDispatch(op)
+	default:
+		s.pol.LoadDispatch(op)
+	}
+}
+
+func (s *Sim) polLoadIssue(op *lsq.MemOp) {
+	switch {
+	case s.polCAM != nil:
+		s.polCAM.LoadIssue(op)
+	case s.polDMDC != nil:
+		s.polDMDC.LoadIssue(op)
+	default:
+		s.pol.LoadIssue(op)
+	}
+}
+
+func (s *Sim) polStoreResolve(op *lsq.MemOp) *lsq.Replay {
+	switch {
+	case s.polCAM != nil:
+		return s.polCAM.StoreResolve(op)
+	case s.polDMDC != nil:
+		return s.polDMDC.StoreResolve(op)
+	default:
+		return s.pol.StoreResolve(op)
+	}
 }
 
 // Result summarizes one run.
@@ -390,7 +527,7 @@ func (s *Sim) step() {
 	s.fetchStage()
 	s.injectInvalidations()
 	s.injectFaultBursts()
-	s.pol.Tick()
+	s.polTick()
 	s.em.Tick()
 	s.cycle++
 }

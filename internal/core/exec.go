@@ -33,15 +33,32 @@ func (s *Sim) issueStage() {
 		memPorts int
 	)
 	out := s.waiting[:0]
-	for _, age := range s.waiting {
-		if !s.live(age) {
+	for i, age := range s.waiting {
+		if issued >= s.cfg.IssueWidth {
+			// Width exhausted: nothing further can issue this cycle, so keep
+			// the tail wholesale instead of walking every blocked entry.
+			// (The liveness/state filters below are lazy cleanup — a dropped
+			// entry is re-filtered identically next cycle.)
+			out = append(out, s.waiting[i:]...)
+			break
+		}
+		// Inlined live()+entryOf(): one offset computation serves both the
+		// liveness test and the slot lookup. The fields are re-read every
+		// iteration on purpose — beginExecution can trigger a replay squash
+		// that moves the head and shrinks the window mid-loop.
+		off := age - s.headAge
+		if off >= uint64(s.count) {
 			continue // squashed
 		}
-		e := s.entryOf(age)
+		idx := s.headIdx + int(off)
+		if n := len(s.rob); idx >= n {
+			idx -= n
+		}
+		e := &s.rob[idx]
 		if e.state != stWaiting {
 			continue // issued via another path
 		}
-		if issued >= s.cfg.IssueWidth || s.cycle < e.notBefore {
+		if s.cycle < e.notBefore {
 			out = append(out, age)
 			continue
 		}
@@ -66,9 +83,22 @@ func (s *Sim) issueStage() {
 		}
 		// Operand readiness: memory ops need only the address operand to
 		// begin (stores handle data separately); others need both sources.
-		ready := s.producerReady(e.src1Prod)
-		if ready && !op.IsMem() {
-			ready = s.producerReady(e.src2Prod)
+		// Positive results clear the slot pointer so a blocked or rejected
+		// entry never re-reads a producer it already saw complete.
+		ready := true
+		if e.src1Ptr != nil {
+			if srcReady(e.src1Ptr, e.src1Prod) {
+				e.src1Ptr = nil
+			} else {
+				ready = false
+			}
+		}
+		if ready && !op.IsMem() && e.src2Ptr != nil {
+			if srcReady(e.src2Ptr, e.src2Prod) {
+				e.src2Ptr = nil
+			} else {
+				ready = false
+			}
 		}
 		if !ready {
 			out = append(out, age)
@@ -77,11 +107,15 @@ func (s *Sim) issueStage() {
 		// Issue.
 		kept := s.beginExecution(e)
 		if kept {
-			s.traceEvent("RJ", age, &e.inst, "")
+			if s.tracing {
+				s.traceEvent("RJ", age, &e.inst, "")
+			}
 			out = append(out, age)
 			continue
 		}
-		s.traceEvent("IS", age, &e.inst, "")
+		if s.tracing {
+			s.traceEvent("IS", age, &e.inst, "")
+		}
 		issued++
 		switch {
 		case op == isa.OpIMul || op == isa.OpIDiv:
@@ -199,7 +233,7 @@ func (s *Sim) issueLoad(e *entry) bool {
 		}
 	}
 	s.scheduleCompletion(e.age, lat)
-	s.pol.LoadIssue(mem)
+	s.polLoadIssue(mem)
 	for _, m := range s.monitors {
 		m.LoadIssue(mem)
 	}
@@ -216,11 +250,8 @@ func (s *Sim) issueStore(e *entry) {
 	e.state = stIssued
 	s.leaveIQ(e)
 	e.addrResolved = true
-	for i := range s.sq {
-		if s.sq[i].age == e.age {
-			s.sq[i].addrResolved = true
-			break
-		}
+	if st := s.sqFind(e.age); st != nil {
+		st.addrResolved = true
 	}
 	s.em.Add(energy.CompSQ, s.costSQWrite)
 	mem := e.mem
@@ -228,11 +259,12 @@ func (s *Sim) issueStore(e *entry) {
 	for _, m := range s.monitors {
 		m.StoreResolve(mem)
 	}
-	if r := s.pol.StoreResolve(mem); r != nil {
+	if r := s.polStoreResolve(mem); r != nil {
 		s.replay(r)
 		// The store itself is older than the replay point and survives.
 	}
-	if s.producerReady(e.src2Prod) {
+	if e.src2Ptr == nil || srcReady(e.src2Ptr, e.src2Prod) {
+		e.src2Ptr = nil
 		e.dataReady = true
 		s.markStoreDataReady(e.age)
 		s.scheduleCompletion(e.age, 1)
@@ -242,12 +274,28 @@ func (s *Sim) issueStore(e *entry) {
 }
 
 func (s *Sim) markStoreDataReady(age uint64) {
-	for i := range s.sq {
-		if s.sq[i].age == age {
-			s.sq[i].dataReady = true
-			return
+	if st := s.sqFind(age); st != nil {
+		st.dataReady = true
+	}
+}
+
+// sqFind returns the store-queue entry for age, or nil. The SQ is
+// age-ordered, so a binary search replaces the linear scans that the store
+// issue and data-ready paths otherwise pay per store.
+func (s *Sim) sqFind(age uint64) *sqEntry {
+	lo, hi := 0, len(s.sq)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if s.sq[mid].age < age {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
+	if lo < len(s.sq) && s.sq[lo].age == age {
+		return &s.sq[lo]
+	}
+	return nil
 }
 
 // completeStage retires execution events: instructions finishing this
@@ -265,7 +313,8 @@ func (s *Sim) completeStage() {
 			if e.epoch != ev.epoch || e.dataReady {
 				continue
 			}
-			if s.producerReady(e.src2Prod) {
+			if e.src2Ptr == nil || srcReady(e.src2Ptr, e.src2Prod) {
+				e.src2Ptr = nil
 				e.dataReady = true
 				s.markStoreDataReady(ev.age)
 				s.scheduleCompletion(ev.age, 1)
@@ -277,7 +326,10 @@ func (s *Sim) completeStage() {
 	}
 	slot := s.cycle % wheelSize
 	events := s.wheel[slot]
-	s.wheel[slot] = events[:0:0] // release; fresh slice next time
+	// Reset length but keep capacity: this slot is not written again until
+	// the wheel wraps (scheduleCompletion clamps latencies to [1, size-1]),
+	// and releasing it instead made event scheduling ~30% of all allocations.
+	s.wheel[slot] = events[:0]
 	for _, ev := range events {
 		if !s.live(ev.age) {
 			continue // squashed while in flight
@@ -293,7 +345,9 @@ func (s *Sim) completeStage() {
 			continue // premature event (data arrived separately)
 		}
 		e.state = stCompleted
-		s.traceEvent("CP", e.age, &e.inst, "")
+		if s.tracing {
+			s.traceEvent("CP", e.age, &e.inst, "")
+		}
 		if e.inst.HasDest() {
 			s.em.Add(energy.CompRegfile, s.costRegfile)
 		}

@@ -9,6 +9,10 @@ import (
 // fetchQCap bounds the decoupling queue between fetch and dispatch.
 func (s *Sim) fetchQCap() int { return 3 * s.cfg.FetchWidth }
 
+// fetchQLen is the number of pending fetched instructions (the queue is
+// consumed from fqHead).
+func (s *Sim) fetchQLen() int { return len(s.fetchQ) - s.fqHead }
+
 // fetchStage pulls up to FetchWidth instructions from the active source:
 // the replay queue (after a memory-order replay), the wrong-path stream
 // (after an undetected misprediction), or the committed-path generator.
@@ -16,7 +20,7 @@ func (s *Sim) fetchStage() {
 	if s.cycle < s.fetchResume {
 		return
 	}
-	if len(s.fetchQ) >= s.fetchQCap() {
+	if s.fetchQLen() >= s.fetchQCap() {
 		return
 	}
 	// One I-cache access per fetch cycle; a miss stalls the front end.
@@ -29,26 +33,32 @@ func (s *Sim) fetchStage() {
 		s.fetchResume = s.cycle + uint64(lat)
 		return
 	}
-	for i := 0; i < s.cfg.FetchWidth && len(s.fetchQ) < s.fetchQCap(); i++ {
-		fi, ok := s.nextFetch()
-		if !ok {
+	for i := 0; i < s.cfg.FetchWidth && s.fetchQLen() < s.fetchQCap(); i++ {
+		// Reserve the queue slot first and fill it in place: building the
+		// instruction in a local and appending would copy ~100 bytes twice,
+		// and taking the local's address for tracing would force a heap
+		// allocation per fetched instruction (the dominant allocation site
+		// before pooling).
+		s.fetchQ = append(s.fetchQ, fetchedInst{})
+		qi := &s.fetchQ[len(s.fetchQ)-1]
+		if !s.nextFetch(qi) {
+			s.fetchQ = s.fetchQ[:len(s.fetchQ)-1]
 			break
 		}
-		s.fetchQ = append(s.fetchQ, fi)
-		if s.ptrace != nil || s.ring != nil {
+		if s.tracing {
 			wp := ""
-			if fi.wrongPath {
+			if qi.wrongPath {
 				wp = "(wrong-path)"
 			}
-			s.traceEvent("FE", 0, &fi.inst, wp)
+			s.traceEvent("FE", 0, &qi.inst, wp)
 		}
-		if fi.inst.Op.IsBranch() {
+		if qi.inst.Op.IsBranch() {
 			// Fetch break after any predicted-taken (or wrong-path taken)
 			// branch: the front end redirects next cycle.
-			if (fi.predicted && fi.pred.Taken) || (!fi.predicted && fi.inst.Taken) {
+			if (qi.predicted && qi.pred.Taken) || (!qi.predicted && qi.inst.Taken) {
 				break
 			}
-			if fi.mispred {
+			if qi.mispred {
 				break
 			}
 		}
@@ -68,44 +78,54 @@ func (s *Sim) peekPC() (uint64, bool) {
 		// Peeking a generator is destructive; use the last fetched PC as
 		// the access proxy (fetch blocks are contiguous anyway).
 		return s.lastWPPC, true
-	case len(s.replayQ) > 0:
-		return s.replayQ[0].PC, true
+	case s.rqHead < len(s.replayQ):
+		return s.replayQ[s.rqHead].PC, true
 	default:
 		return s.lastGenPC, true
 	}
 }
 
-// nextFetch produces the next instruction from the active fetch source,
-// running branch prediction for correct-path branches.
-func (s *Sim) nextFetch() (fetchedInst, bool) {
+// nextFetch fills fi (a zeroed fetch-queue slot) with the next instruction
+// from the active fetch source, running branch prediction for correct-path
+// branches. It reports whether an instruction was produced.
+func (s *Sim) nextFetch(fi *fetchedInst) bool {
 	switch {
 	case s.wpActive:
 		if s.wpStream == nil {
-			return fetchedInst{}, false
+			return false
 		}
 		in := s.wpStream.Next()
 		s.lastWPPC = in.PC + 4
 		s.wrongPathFetched++
 		// Wrong-path instructions are not predicted: their branch fields
 		// already carry the stream's guessed direction.
-		return fetchedInst{inst: in, wrongPath: true}, true
-	case len(s.replayQ) > 0:
-		in := s.replayQ[0]
-		s.replayQ = s.replayQ[:copy(s.replayQ, s.replayQ[1:])]
-		return s.decorate(in), true
+		fi.inst = in
+		fi.wrongPath = true
+		return true
+	case s.rqHead < len(s.replayQ):
+		// Pop from the head index: the old copy-shift made draining an
+		// n-entry replay queue O(n²) after every big squash.
+		s.decorate(fi, s.replayQ[s.rqHead])
+		s.rqHead++
+		if s.rqHead == len(s.replayQ) {
+			s.replayQ = s.replayQ[:0]
+			s.rqHead = 0
+		}
+		return true
 	default:
 		in := s.wl.Next()
 		s.lastGenPC = in.PC + 4
-		return s.decorate(in), true
+		s.decorate(fi, in)
+		return true
 	}
 }
 
-// decorate runs branch prediction on a correct-path instruction and, on a
-// misprediction, switches fetch to the wrong path.
-func (s *Sim) decorate(in isa.Inst) fetchedInst {
-	fi := fetchedInst{inst: in}
+// decorate fills fi with in, runs branch prediction on a correct-path
+// instruction and, on a misprediction, switches fetch to the wrong path.
+func (s *Sim) decorate(fi *fetchedInst, in isa.Inst) {
+	fi.inst = in
 	if !in.Op.IsBranch() {
-		return fi
+		return
 	}
 	fi.histCp = s.bp.HistoryCheckpoint()
 	fi.pred = s.bp.Predict(in.PC)
@@ -127,15 +147,14 @@ func (s *Sim) decorate(in isa.Inst) fetchedInst {
 			}
 		}
 	}
-	return fi
 }
 
 // dispatchStage renames and inserts fetched instructions into the ROB,
 // issue queues, and memory queues, stalling on any structural hazard.
 func (s *Sim) dispatchStage() {
 	width := s.cfg.FetchWidth
-	for n := 0; n < width && len(s.fetchQ) > 0; n++ {
-		fi := &s.fetchQ[0]
+	for n := 0; n < width && s.fetchQLen() > 0; n++ {
+		fi := &s.fetchQ[s.fqHead]
 		if s.count >= len(s.rob) {
 			return // ROB full
 		}
@@ -162,14 +181,24 @@ func (s *Sim) dispatchStage() {
 			}
 		}
 		// Memory structures.
-		if in.Op.IsLoad() && s.inflightLoads >= s.pol.LoadCapacity() {
+		if in.Op.IsLoad() && s.inflightLoads >= s.loadCap {
 			return
 		}
 		if in.Op.IsStore() && len(s.sq) >= s.cfg.SQSize {
 			return
 		}
 		s.insert(fi)
-		s.fetchQ = s.fetchQ[:copy(s.fetchQ, s.fetchQ[1:])]
+		s.fqHead++
+		if s.fqHead == len(s.fetchQ) {
+			s.fetchQ = s.fetchQ[:0]
+			s.fqHead = 0
+		} else if s.fqHead >= 4*s.fetchQCap() {
+			// The queue rarely drains fully under a steady front end; compact
+			// occasionally so the backing array stays a few fetch groups long.
+			n := copy(s.fetchQ, s.fetchQ[s.fqHead:])
+			s.fetchQ = s.fetchQ[:n]
+			s.fqHead = 0
+		}
 	}
 }
 
@@ -178,40 +207,60 @@ func (s *Sim) dispatchStage() {
 func (s *Sim) insert(fi *fetchedInst) {
 	age := s.nextAge
 	s.nextAge++
-	idx := (s.headIdx + s.count) % len(s.rob)
+	idx := s.headIdx + s.count
+	if idx >= len(s.rob) {
+		idx -= len(s.rob)
+	}
 	s.count++
 	e := &s.rob[idx]
-	*e = entry{
-		inst:         fi.inst,
-		age:          age,
-		epoch:        s.epoch,
-		wrongPath:    fi.wrongPath,
-		state:        stWaiting,
-		src1Prod:     s.lookupProducer(fi.inst.Src1),
-		src2Prod:     s.lookupProducer(fi.inst.Src2),
-		pred:         fi.pred,
-		histCp:       fi.histCp,
-		mispredicted: fi.mispred,
-		predicted:    fi.predicted,
+	// Field-by-field reset of the recycled slot: a composite literal here is
+	// built in a temporary and copied in (~150B duffcopy per dispatch). Every
+	// field must be written or explicitly zeroed.
+	e.age = age
+	e.notBefore = 0
+	e.src1Prod = s.lookupProducer(fi.inst.Src1)
+	e.src2Prod = s.lookupProducer(fi.inst.Src2)
+	e.src1Ptr = nil
+	e.src2Ptr = nil
+	e.mem = nil
+	e.epoch = s.epoch
+	e.state = stWaiting
+	e.wrongPath = fi.wrongPath
+	e.addrResolved = false
+	e.dataReady = false
+	e.inst = fi.inst
+	e.pred = fi.pred
+	e.histCp = fi.histCp
+	e.mispredicted = fi.mispred
+	e.predicted = fi.predicted
+	if p := e.src1Prod; p != 0 {
+		e.src1Ptr = s.entryOf(p)
+	}
+	if p := e.src2Prod; p != 0 {
+		e.src2Ptr = s.entryOf(p)
 	}
 	if fi.mispred {
 		s.wpBranchAge = age
 	}
-	s.traceEvent("DI", age, &fi.inst, "")
+	if s.tracing {
+		s.traceEvent("DI", age, &fi.inst, "")
+	}
 	s.em.Add(energy.CompROB, s.costROB)
 	s.em.Add(energy.CompRename, s.costRename)
 	in := &fi.inst
 	if in.Op.IsMem() {
-		e.mem = &lsq.MemOp{
+		m := s.allocMemOp()
+		*m = lsq.MemOp{
 			Age:       age,
 			IsLoad:    in.Op.IsLoad(),
 			Addr:      in.Addr,
 			Size:      in.Size,
 			WrongPath: fi.wrongPath,
 		}
+		e.mem = m
 		if in.Op.IsLoad() {
 			s.inflightLoads++
-			s.pol.LoadDispatch(e.mem)
+			s.polLoadDispatch(e.mem)
 		} else {
 			s.sq = append(s.sq, sqEntry{age: age, seq: in.Seq, addr: in.Addr, size: in.Size})
 			s.em.Add(energy.CompSQ, s.costSQWrite)

@@ -79,8 +79,12 @@ func (s *Sim) CheckInvariants() error {
 		return fmt.Errorf("fp register leak: free %d + inflight %d != pool %d",
 			s.freeFP, fpDests, s.cfg.FPRegs-32)
 	}
-	if len(s.fetchQ) > s.fetchQCap() {
-		return fmt.Errorf("fetch queue overflow: %d > %d", len(s.fetchQ), s.fetchQCap())
+	if s.fetchQLen() > s.fetchQCap() {
+		return fmt.Errorf("fetch queue overflow: %d > %d", s.fetchQLen(), s.fetchQCap())
+	}
+	if s.fqHead < 0 || s.fqHead > len(s.fetchQ) || s.rqHead < 0 || s.rqHead > len(s.replayQ) {
+		return fmt.Errorf("queue head out of range: fetch %d/%d, replay %d/%d",
+			s.fqHead, len(s.fetchQ), s.rqHead, len(s.replayQ))
 	}
 	// The rename map must point at live producers (or be clear).
 	for reg, age := range s.regProducer {

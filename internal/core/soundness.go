@@ -209,8 +209,8 @@ func (s *Sim) stateDump() *soundness.StateDump {
 		IQFP:            s.iqFP,
 		SQLen:           len(s.sq),
 		InflightLoads:   s.inflightLoads,
-		FetchQLen:       len(s.fetchQ),
-		ReplayQLen:      len(s.replayQ),
+		FetchQLen:       s.fetchQLen(),
+		ReplayQLen:      len(s.replayQ) - s.rqHead,
 		FetchResume:     s.fetchResume,
 		WrongPathMode:   s.wpActive,
 		Policy:          s.pol.Name(),

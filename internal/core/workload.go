@@ -43,7 +43,12 @@ type generatorWorkload struct {
 }
 
 // FromGenerator wraps the synthetic benchmark generator as a Workload.
+// The front end follows at most one wrong path at a time, so the wrapped
+// generator is switched to its reused wrong-path stream (one 5KB rand
+// state per misprediction otherwise dominates the simulator's allocation
+// profile; the instruction sequences are identical either way).
 func FromGenerator(g *trace.Generator) Workload {
+	g.EnableWrongPathReuse()
 	return generatorWorkload{g: g}
 }
 

@@ -33,9 +33,14 @@ type CAMConfig struct {
 // register file or a Bloom filter screens out provably unnecessary
 // searches (the paper's Section 3 and its Figure 3 comparison point).
 type CAM struct {
-	cfg          CAMConfig
-	em           *energy.Model
-	loads        []*MemOp // in-flight loads in age order
+	cfg CAMConfig
+	em  *energy.Model
+	// In-flight loads in age order, consumed from index hd: commit drops
+	// loads from the front, and popping via a head index replaces the
+	// per-commit memmove of the whole queue. Compacted when hd grows past
+	// a few LQ lengths so the backing array stays bounded.
+	loads        []*MemOp
+	hd           int
 	yla          *YLAFile
 	bloom        *BloomFilter
 	bloomTracked map[uint64]uint64 // age -> addr, for removal on squash/commit
@@ -146,7 +151,7 @@ func (c *CAM) StoreResolve(op *MemOp) *Replay {
 	c.searches++
 	c.em.Add(energy.CompLQ, c.searchCost)
 	var victim *MemOp
-	for _, l := range c.loads {
+	for _, l := range c.loads[c.hd:] {
 		if l.Age <= op.Age || !l.Issued || l.WrongPath {
 			// Wrong-path loads will be squashed by the imminent branch
 			// recovery; replaying from them would model a redundant
@@ -178,16 +183,21 @@ func (c *CAM) LoadCommit(op *MemOp) *Replay {
 
 // removeUpTo drops loads with Age <= age from the front of the queue.
 func (c *CAM) removeUpTo(age uint64) {
-	i := 0
-	for i < len(c.loads) && c.loads[i].Age <= age {
-		if c.bloom != nil && c.loads[i].Issued {
-			c.bloom.Remove(c.loads[i].Addr)
-			delete(c.bloomTracked, c.loads[i].Age)
+	for c.hd < len(c.loads) && c.loads[c.hd].Age <= age {
+		if c.bloom != nil && c.loads[c.hd].Issued {
+			c.bloom.Remove(c.loads[c.hd].Addr)
+			delete(c.bloomTracked, c.loads[c.hd].Age)
 		}
-		i++
+		c.hd++
 	}
-	if i > 0 {
-		c.loads = c.loads[:copy(c.loads, c.loads[i:])]
+	switch {
+	case c.hd == len(c.loads):
+		c.loads = c.loads[:0]
+		c.hd = 0
+	case c.hd > 4*c.cfg.LQSize:
+		n := copy(c.loads, c.loads[c.hd:])
+		c.loads = c.loads[:n]
+		c.hd = 0
 	}
 }
 
@@ -196,15 +206,20 @@ func (c *CAM) InstCommit(uint64) {}
 
 // Squash removes loads with Age >= fromAge.
 func (c *CAM) Squash(fromAge uint64) {
-	// Loads are age-ordered; find the cut point.
-	cut := sort.Search(len(c.loads), func(i int) bool { return c.loads[i].Age >= fromAge })
-	for _, l := range c.loads[cut:] {
+	// Loads are age-ordered; find the cut point in the live window.
+	live := c.loads[c.hd:]
+	cut := sort.Search(len(live), func(i int) bool { return live[i].Age >= fromAge })
+	for _, l := range live[cut:] {
 		if c.bloom != nil && l.Issued {
 			c.bloom.Remove(l.Addr)
 			delete(c.bloomTracked, l.Age)
 		}
 	}
-	c.loads = c.loads[:cut]
+	c.loads = c.loads[:c.hd+cut]
+	if c.hd == len(c.loads) {
+		c.loads = c.loads[:0]
+		c.hd = 0
+	}
 }
 
 // Recover applies the YLA clamp remedy on branch/replay recovery.
@@ -232,7 +247,7 @@ func (c *CAM) Report(s *stats.Set) {
 		}
 	}
 	s.Add("replays_total", float64(c.totalReplays()))
-	s.Add("inflight_loads", float64(len(c.loads)))
+	s.Add("inflight_loads", float64(len(c.loads)-c.hd))
 }
 
 func (c *CAM) totalReplays() uint64 {

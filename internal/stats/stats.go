@@ -10,24 +10,49 @@ import (
 	"strings"
 )
 
-// Set is an ordered collection of named floating-point counters. The zero
-// value is not ready for use; call NewSet.
+// Set is an ordered collection of named floating-point counters. Storage
+// is slice-backed (parallel name/value slices in insertion order) with a
+// name→index map on the side, so per-update cost is one map lookup by
+// name — or none at all through a pre-resolved Handle. The zero value is
+// not ready for use; call NewSet.
 type Set struct {
-	values map[string]float64
-	order  []string
+	index map[string]int
+	names []string
+	vals  []float64
 }
 
 // NewSet returns an empty counter set.
 func NewSet() *Set {
-	return &Set{values: make(map[string]float64)}
+	return &Set{index: make(map[string]int)}
+}
+
+// Handle is a pre-resolved counter index, valid only for the Set that
+// issued it. Hot loops resolve a name once and then update through the
+// handle, replacing a per-event map lookup with a slice index.
+type Handle int
+
+// Handle registers name (creating the counter at zero if absent) and
+// returns its handle.
+func (s *Set) Handle(name string) Handle {
+	return Handle(s.slot(name))
+}
+
+// slot returns the index for name, appending a zero-valued counter first
+// if it does not exist yet.
+func (s *Set) slot(name string) int {
+	if i, ok := s.index[name]; ok {
+		return i
+	}
+	i := len(s.names)
+	s.index[name] = i
+	s.names = append(s.names, name)
+	s.vals = append(s.vals, 0)
+	return i
 }
 
 // Add increases the named counter by v, creating it if absent.
 func (s *Set) Add(name string, v float64) {
-	if _, ok := s.values[name]; !ok {
-		s.order = append(s.order, name)
-	}
-	s.values[name] += v
+	s.vals[s.slot(name)] += v
 }
 
 // Inc increments the named counter by one.
@@ -35,28 +60,42 @@ func (s *Set) Inc(name string) { s.Add(name, 1) }
 
 // Put sets the named counter to v, replacing any previous value.
 func (s *Set) Put(name string, v float64) {
-	if _, ok := s.values[name]; !ok {
-		s.order = append(s.order, name)
-	}
-	s.values[name] = v
+	s.vals[s.slot(name)] = v
 }
 
 // Get returns the value of the named counter, or zero if absent.
-func (s *Set) Get(name string) float64 { return s.values[name] }
+func (s *Set) Get(name string) float64 {
+	if i, ok := s.index[name]; ok {
+		return s.vals[i]
+	}
+	return 0
+}
+
+// AddH increases the counter behind h by v.
+func (s *Set) AddH(h Handle, v float64) { s.vals[h] += v }
+
+// IncH increments the counter behind h by one.
+func (s *Set) IncH(h Handle) { s.vals[h]++ }
+
+// PutH sets the counter behind h to v.
+func (s *Set) PutH(h Handle, v float64) { s.vals[h] = v }
+
+// GetH returns the value of the counter behind h.
+func (s *Set) GetH(h Handle) float64 { return s.vals[h] }
 
 // Has reports whether the named counter exists.
 func (s *Set) Has(name string) bool {
-	_, ok := s.values[name]
+	_, ok := s.index[name]
 	return ok
 }
 
 // Ratio returns Get(num)/Get(den), or zero when the denominator is zero.
 func (s *Set) Ratio(num, den string) float64 {
-	d := s.values[den]
+	d := s.Get(den)
 	if d == 0 {
 		return 0
 	}
-	return s.values[num] / d
+	return s.Get(num) / d
 }
 
 // PerMillion returns the rate of counter num per million units of den.
@@ -66,15 +105,33 @@ func (s *Set) PerMillion(num, den string) float64 {
 
 // Names returns the counter names in insertion order.
 func (s *Set) Names() []string {
-	out := make([]string, len(s.order))
-	copy(out, s.order)
+	out := make([]string, len(s.names))
+	copy(out, s.names)
 	return out
 }
 
-// Merge adds every counter of other into s.
+// Merge adds every counter of other into s. When both sets have an
+// identical layout (same names in the same order — the common case when
+// merging results of repeated runs), the merge is a single fused pass over
+// the value slices with no map traffic.
 func (s *Set) Merge(other *Set) {
-	for _, name := range other.order {
-		s.Add(name, other.values[name])
+	if len(s.names) == len(other.names) {
+		same := true
+		for i, n := range other.names {
+			if s.names[i] != n {
+				same = false
+				break
+			}
+		}
+		if same {
+			for i, v := range other.vals {
+				s.vals[i] += v
+			}
+			return
+		}
+	}
+	for i, name := range other.names {
+		s.Add(name, other.vals[i])
 	}
 }
 
@@ -87,11 +144,7 @@ type setJSON struct {
 
 // MarshalJSON encodes the set with its insertion order intact.
 func (s *Set) MarshalJSON() ([]byte, error) {
-	sj := setJSON{Names: s.order, Values: make([]float64, len(s.order))}
-	for i, name := range s.order {
-		sj.Values[i] = s.values[name]
-	}
-	return json.Marshal(sj)
+	return json.Marshal(setJSON{Names: s.names, Values: s.vals})
 }
 
 // UnmarshalJSON decodes a set encoded by MarshalJSON, replacing any
@@ -105,8 +158,9 @@ func (s *Set) UnmarshalJSON(b []byte) error {
 		return fmt.Errorf("stats: malformed set: %d names, %d values",
 			len(sj.Names), len(sj.Values))
 	}
-	s.values = make(map[string]float64, len(sj.Names))
-	s.order = nil
+	s.index = make(map[string]int, len(sj.Names))
+	s.names = nil
+	s.vals = nil
 	for i, name := range sj.Names {
 		s.Put(name, sj.Values[i])
 	}
@@ -116,8 +170,8 @@ func (s *Set) UnmarshalJSON(b []byte) error {
 // String renders the set as "name value" lines in insertion order.
 func (s *Set) String() string {
 	var b strings.Builder
-	for _, name := range s.order {
-		fmt.Fprintf(&b, "%-40s %g\n", name, s.values[name])
+	for i, name := range s.names {
+		fmt.Fprintf(&b, "%-40s %g\n", name, s.vals[i])
 	}
 	return b.String()
 }

@@ -100,6 +100,11 @@ type Generator struct {
 	cur  int // current block
 	slot int
 
+	// Wrong-path stream reuse (see EnableWrongPathReuse).
+	wpReuse   bool
+	wpRng     *rand.Rand
+	wpScratch WrongStream
+
 	// Register dataflow state.
 	destRing     [64]int16 // recent destination registers, newest last
 	destRingLen  int
@@ -647,6 +652,16 @@ type WrongStream struct {
 	// committed path without perturbing it.
 }
 
+// EnableWrongPathReuse makes subsequent WrongPath calls hand out one
+// reused stream (and one reused, reseeded rand state) instead of
+// allocating fresh ones. The produced instruction sequences are identical
+// — reseeding a source is exactly the NewSource initialization — but each
+// WrongPath call invalidates the previously returned stream. The pipeline
+// front end follows at most one wrong path at a time, so it opts in and
+// saves a 5KB allocation per misprediction; callers that interleave
+// several live streams (tests) must leave reuse off.
+func (g *Generator) EnableWrongPathReuse() { g.wpReuse = true }
+
 // WrongPath builds a wrong-path stream for the branch at branchPC. taken
 // is the (wrong) direction fetch is following; salt decorrelates repeated
 // episodes at the same branch. Returns nil if branchPC is unknown (the
@@ -661,11 +676,17 @@ func (g *Generator) WrongPath(branchPC uint64, taken bool, salt uint64) *WrongSt
 	if taken {
 		next = b.taken
 	}
-	return &WrongStream{
-		g:   g,
-		rng: rand.New(rand.NewSource(int64(branchPC) ^ int64(salt)*0x9e37 ^ g.prof.Seed)),
-		cur: next,
+	seed := int64(branchPC) ^ int64(salt)*0x9e37 ^ g.prof.Seed
+	if !g.wpReuse {
+		return &WrongStream{g: g, rng: rand.New(rand.NewSource(seed)), cur: next}
 	}
+	if g.wpRng == nil {
+		g.wpRng = rand.New(rand.NewSource(seed))
+	} else {
+		g.wpRng.Seed(seed)
+	}
+	g.wpScratch = WrongStream{g: g, rng: g.wpRng, cur: next}
+	return &g.wpScratch
 }
 
 // Next returns the next wrong-path instruction. Branch direction fields on
