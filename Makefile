@@ -19,7 +19,7 @@ GO ?= go
 CACHE_DIR ?= .dmdc-cache
 BENCH_COUNT ?= 5
 
-.PHONY: all build test check vet race soundness fuzz-short bench bench-smoke bench-all report clean-cache
+.PHONY: all build test check vet race soundness fuzz-short cover bench bench-smoke bench-all report clean-cache
 
 all: build test check
 
@@ -46,20 +46,27 @@ soundness:
 # 60 seconds of fuzzing split across the targets (seed corpora always run
 # as part of tier-1; this explores beyond them).
 fuzz-short:
-	$(GO) test -run '^$$' -fuzz FuzzPolicySoundness -fuzztime 40s ./internal/lsq/
-	$(GO) test -run '^$$' -fuzz FuzzFaultSpecParse -fuzztime 20s ./internal/soundness/
+	$(GO) test -run '^$$' -fuzz FuzzPolicySoundness -fuzztime 30s ./internal/lsq/
+	$(GO) test -run '^$$' -fuzz FuzzFaultSpecParse -fuzztime 15s ./internal/soundness/
+	$(GO) test -run '^$$' -fuzz FuzzTraceEventExport -fuzztime 15s ./internal/telemetry/
 
-check: vet race soundness bench-smoke fuzz-short
+# Whole-module coverage with a per-package summary; the total line is the
+# number `check` prints at the end.
+cover:
+	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
+	$(GO) tool cover -func=cover.out | tail -1
+
+check: vet race soundness bench-smoke fuzz-short cover
 
 # Core-simulator throughput, recorded. Medians over BENCH_COUNT repetitions
 # land in the "current" section of BENCH_core.json; the "pre_pr3" section
 # holds the pre-optimization numbers the speedup ratios compare against.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC)$$' -benchtime 30x -count $(BENCH_COUNT) -benchmem . \
+	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC|Telemetry)$$' -benchtime 30x -count $(BENCH_COUNT) -benchmem . \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_core.json
 
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC)$$' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC|Telemetry)$$' -benchtime 1x .
 
 bench-all:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...

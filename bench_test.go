@@ -143,6 +143,30 @@ func BenchmarkSimDMDC(b *testing.B) {
 	benchSim(b, dmdc.PolicyDMDC)
 }
 
+// BenchmarkSimTelemetry is BenchmarkSimBaseline with a telemetry sampler
+// attached at the default stride. Compared against the baseline number it
+// measures the enabled-path overhead of the observability layer (the
+// acceptance budget is ≤5%); the disabled path is covered by
+// BenchmarkSimBaseline itself, which runs with s.tel == nil.
+func BenchmarkSimTelemetry(b *testing.B) {
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		sampler := dmdc.NewTelemetrySampler(dmdc.TelemetryConfig{})
+		res, err := dmdc.Simulate(dmdc.Config2(), "gcc", dmdc.PolicyBaseline, benchBudget,
+			dmdc.WithTelemetry(sampler))
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Insts
+		if len(sampler.Snapshot().Samples) == 0 {
+			b.Fatal("sampler recorded nothing")
+		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(insts)/sec, "insts/s")
+	}
+}
+
 // BenchmarkTableSizeSweep regenerates the checking-table sizing extension.
 func BenchmarkTableSizeSweep(b *testing.B) {
 	benchArtifact(b, func(s *experiments.Suite) bool { return len(s.TableSizeSweep().Rows) > 0 })

@@ -23,6 +23,7 @@ import (
 	"dmdc/internal/energy"
 	"dmdc/internal/lsq"
 	"dmdc/internal/soundness"
+	"dmdc/internal/telemetry"
 	"dmdc/internal/trace"
 	"dmdc/internal/tracefile"
 )
@@ -43,6 +44,8 @@ func main() {
 		wdCycles = flag.Uint64("watchdog-cycles", 0, "fail when no instruction commits for this many cycles (0 = default budget)")
 		ptFrom   = flag.Uint64("ptrace-from", 0, "pipeline-trace window start (committed inst)")
 		ptTo     = flag.Uint64("ptrace-to", 0, "pipeline-trace window end (0 = off)")
+		telOut   = flag.String("telemetry-out", "", "export telemetry as PREFIX.csv, PREFIX.series.json, and PREFIX.trace.json (enables telemetry)")
+		telStrid = flag.Uint64("telemetry-stride", 0, "telemetry sample interval in cycles (0 = default; setting it enables telemetry)")
 		showAll  = flag.Bool("stats", false, "print every statistic")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
 	)
@@ -113,6 +116,11 @@ func main() {
 	if *wdCycles > 0 {
 		opts = append(opts, core.WithWatchdog(*wdCycles))
 	}
+	var sampler *telemetry.Sampler
+	if *telOut != "" || *telStrid > 0 {
+		sampler = telemetry.New(telemetry.Config{Stride: *telStrid})
+		opts = append(opts, core.WithTelemetry(sampler))
+	}
 	sim, err := core.NewWithWorkload(m, workload, pol, em, opts...)
 	if err != nil {
 		fatal(err)
@@ -144,6 +152,57 @@ func main() {
 		fmt.Println("All statistics:")
 		fmt.Println(r.Stats.String())
 	}
+	if sampler != nil {
+		reportTelemetry(sampler.Snapshot(), *telOut)
+	}
+}
+
+// reportTelemetry prints the commit-stall attribution summary and, with a
+// -telemetry-out prefix, writes the CSV/JSON/Chrome-trace exports.
+func reportTelemetry(sn telemetry.Snapshot, outPrefix string) {
+	fmt.Printf("\nTelemetry (stride %d, %d samples", sn.Stride, len(sn.Samples))
+	if sn.Dropped > 0 {
+		fmt.Printf(", %d dropped", sn.Dropped)
+	}
+	fmt.Println("):")
+	counts, frac := sn.StallBreakdown()
+	last, ok := sn.Last()
+	if ok && last.Cycle > 0 {
+		fmt.Printf("  stall cycles  %d of %d (%.1f%%)\n",
+			counts.Total(), last.Cycle, 100*float64(counts.Total())/float64(last.Cycle))
+		for c := 0; c < telemetry.NumStallCauses; c++ {
+			fmt.Printf("    %-28s %10d  (%.1f%% of cycles)\n",
+				telemetry.StallCause(c).StatName(), counts[c], 100*frac[c])
+		}
+		if disp := last.DispatchStalls; disp.Total() > 0 {
+			fmt.Printf("  dispatch hazard stalls  %d\n", disp.Total())
+			for h := 0; h < telemetry.NumDispatchHazards; h++ {
+				if disp[h] > 0 {
+					fmt.Printf("    %-28s %10d\n", telemetry.DispatchHazard(h).StatName(), disp[h])
+				}
+			}
+		}
+	}
+	if outPrefix == "" {
+		return
+	}
+	write := func(path string, fn func(*os.File) error) {
+		f, err := os.Create(path)
+		if err != nil {
+			fatal(err)
+		}
+		if err := fn(f); err != nil {
+			f.Close()
+			fatal(fmt.Errorf("%s: %w", path, err))
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintln(os.Stderr, "dmdcsim: wrote", path)
+	}
+	write(outPrefix+".csv", func(f *os.File) error { return sn.WriteCSV(f) })
+	write(outPrefix+".series.json", func(f *os.File) error { return sn.WriteJSON(f) })
+	write(outPrefix+".trace.json", func(f *os.File) error { return sn.WriteChromeTrace(f) })
 }
 
 // newPolicy builds the selected load-queue policy. The "unsound" choice

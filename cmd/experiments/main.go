@@ -17,8 +17,11 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/* on the default mux for -serve
 	"os"
 	"runtime"
 	"runtime/pprof"
@@ -27,6 +30,7 @@ import (
 	"dmdc/internal/experiments"
 	"dmdc/internal/resultcache"
 	"dmdc/internal/soundness"
+	"dmdc/internal/telemetry"
 )
 
 func main() {
@@ -46,6 +50,9 @@ func main() {
 		sound      = flag.Bool("soundness", false, "verify every commit of every run against a lockstep in-order oracle (bypasses the cache)")
 		faultsFl   = flag.String("faults", "", "inject a deterministic fault campaign into every run, e.g. invburst=8@50,storedelay=40@7,spurious=97")
 		wdCycles   = flag.Uint64("watchdog-cycles", 0, "fail a run when no instruction commits for this many cycles (0 = default budget)")
+		telDir     = flag.String("telemetry-dir", "", "export per-job time series (CSV/JSON) and Chrome traces to this directory (enables telemetry)")
+		telStride  = flag.Uint64("telemetry-stride", 0, "telemetry sample interval in cycles (0 = default; setting it enables telemetry)")
+		serveAddr  = flag.String("serve", "", "serve a live observability endpoint on this address (/telemetry, expvar at /debug/vars, pprof at /debug/pprof; enables telemetry)")
 	)
 	flag.Parse()
 
@@ -95,9 +102,16 @@ func main() {
 	if *verbose {
 		opts.Progress = func(line string) { fmt.Fprintln(os.Stderr, line) }
 	}
+	if *telDir != "" || *telStride > 0 || *serveAddr != "" {
+		opts.Telemetry = &telemetry.Config{Stride: *telStride}
+		opts.TelemetryDir = *telDir
+	}
 	suite, err := experiments.NewSuite(opts)
 	if err != nil {
 		die(err)
+	}
+	if *serveAddr != "" {
+		serveLive(*serveAddr, suite)
 	}
 
 	if *csvKeys {
@@ -166,6 +180,9 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println(report)
+	if suite.Telemetry() != nil {
+		fmt.Println(suite.TelemetryReport())
+	}
 	fmt.Fprintf(os.Stderr, "elapsed: %s — %s\n",
 		time.Since(start).Round(time.Millisecond), runSummary(suite))
 
@@ -175,6 +192,34 @@ func main() {
 		}
 	}
 	checkRuns(suite)
+}
+
+// serveLive starts the observability endpoint in the background: the
+// telemetry registry at /telemetry (?job=KEY for one job's full series),
+// matrix progress as the "dmdc" expvar at /debug/vars, and the stock
+// net/http/pprof handlers at /debug/pprof/. Best-effort: a dead listener
+// warns and the run continues.
+func serveLive(addr string, suite *experiments.Suite) {
+	expvar.Publish("dmdc", expvar.Func(func() any {
+		hits, misses, werrs := suite.CacheStats()
+		progress := map[string]any{
+			"simulated":          suite.Simulated(),
+			"cache_hits":         hits,
+			"cache_misses":       misses,
+			"cache_write_errors": werrs,
+		}
+		if reg := suite.Telemetry(); reg != nil {
+			progress["telemetry_jobs"] = len(reg.Keys())
+		}
+		return progress
+	}))
+	http.Handle("/telemetry", suite.Telemetry())
+	fmt.Fprintf(os.Stderr, "serving live telemetry on http://%s/telemetry (expvar /debug/vars, pprof /debug/pprof)\n", addr)
+	go func() {
+		if err := http.ListenAndServe(addr, nil); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments: -serve:", err)
+		}
+	}()
 }
 
 // runSummary renders the simulated-vs-cached counters for the run.

@@ -29,6 +29,7 @@ import (
 	"dmdc/internal/experiments"
 	"dmdc/internal/lsq"
 	"dmdc/internal/soundness"
+	"dmdc/internal/telemetry"
 	"dmdc/internal/trace"
 )
 
@@ -144,6 +145,30 @@ func WithWatchdog(budget uint64) SimOption { return core.WithWatchdog(budget) }
 // WithInvariantChecking sweeps the pipeline's structural invariants every
 // n cycles, failing the run with a *SoundnessError on the first violation.
 func WithInvariantChecking(n uint64) SimOption { return core.WithInvariantChecking(n) }
+
+// TelemetryConfig parameterizes a telemetry sampler (cycle stride, ring
+// capacity; zero fields take defaults).
+type TelemetryConfig = telemetry.Config
+
+// TelemetrySampler records interval time series of pipeline state (IPC,
+// occupancies, replay rates, stall attribution, checking-table probes)
+// into a preallocated ring buffer; see NewTelemetrySampler/WithTelemetry.
+type TelemetrySampler = telemetry.Sampler
+
+// TelemetrySnapshot is a consistent copy of a sampler's series with CSV,
+// JSON, and Chrome trace_event exporters.
+type TelemetrySnapshot = telemetry.Snapshot
+
+// NewTelemetrySampler builds a sampling engine to pass to WithTelemetry.
+// After the run, Snapshot() returns the time series; its WriteCSV,
+// WriteJSON, and WriteChromeTrace methods export it.
+func NewTelemetrySampler(cfg TelemetryConfig) *TelemetrySampler { return telemetry.New(cfg) }
+
+// WithTelemetry attaches a sampling engine to the simulation. Telemetry is
+// strictly observational — an instrumented run commits cycle-for-cycle
+// identically to an uninstrumented one (pinned by the golden
+// observer-effect suite) — and costs a disabled run one nil test per cycle.
+func WithTelemetry(t *TelemetrySampler) SimOption { return core.WithTelemetry(t) }
 
 // newPolicy builds the load-queue policy for one simulation.
 func newPolicy(m Machine, kind PolicyKind, em *energy.Model) (lsq.Policy, error) {

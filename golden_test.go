@@ -42,7 +42,10 @@ func goldenConfigs() []dmdc.Machine {
 }
 
 // goldenPolicies is the policy axis: the conventional baseline, the YLA
-// filtering extension, and both DMDC window-management variants.
+// filtering extension, both DMDC window-management variants, and the
+// related-work value-based re-execution scheme (its commit-time cache
+// re-accesses and SVW-free replay path are a distinct code path worth
+// pinning).
 var goldenPolicies = []struct {
 	name string
 	kind dmdc.PolicyKind
@@ -51,6 +54,7 @@ var goldenPolicies = []struct {
 	{"yla", dmdc.PolicyYLA},
 	{"dmdc-global", dmdc.PolicyDMDC},
 	{"dmdc-local", dmdc.PolicyDMDCLocal},
+	{"valuebased", dmdc.PolicyValueBased},
 }
 
 // goldenBenchmarks spans the workload classes: two integer benchmarks with
@@ -144,6 +148,63 @@ func goldenDiff(want, got []byte) string {
 		return "  (fingerprints differ only in length)"
 	}
 	return out.String()
+}
+
+// TestGoldenTelemetryObserverEffect reruns the entire golden matrix with
+// telemetry fully enabled — a fine stride so sampling and stall
+// attribution run constantly — and requires every cell's fingerprint to be
+// byte-identical to the committed golden file. This is the observer-effect
+// contract: instrumentation must never change a committed cycle. The test
+// also requires the sampler to have actually observed the run (non-empty
+// series ending at the final committed count), so a regression that
+// silently detaches telemetry cannot pass as a no-op.
+func TestGoldenTelemetryObserverEffect(t *testing.T) {
+	for _, bench := range goldenBenchmarks {
+		for _, cfg := range goldenConfigs() {
+			for _, pol := range goldenPolicies {
+				bench, cfg, pol := bench, cfg, pol
+				name := fmt.Sprintf("%s/%s/%s", bench, cfg.Name, pol.name)
+				t.Run(name, func(t *testing.T) {
+					t.Parallel()
+					sampler := dmdc.NewTelemetrySampler(dmdc.TelemetryConfig{Stride: 64})
+					r, err := dmdc.Simulate(cfg, bench, pol.kind, goldenInsts,
+						dmdc.WithTelemetry(sampler))
+					if err != nil {
+						t.Fatalf("simulate: %v", err)
+					}
+					got, err := fingerprint(r)
+					if err != nil {
+						t.Fatalf("fingerprint: %v", err)
+					}
+					path := goldenPath(bench, cfg.Name, pol.name)
+					want, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatalf("missing golden fingerprint (run `go test -run Golden -update .`): %v", err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Errorf("telemetry changed the simulation: fingerprint diverged from %s\n%s",
+							path, goldenDiff(want, got))
+					}
+					// The sampler must have really been watching.
+					sn := sampler.Snapshot()
+					if len(sn.Samples) == 0 {
+						t.Fatal("telemetry enabled but no samples recorded")
+					}
+					last := sn.Samples[len(sn.Samples)-1]
+					if last.Committed != r.Insts {
+						t.Errorf("final sample committed=%d, want %d (flush sample missing?)",
+							last.Committed, r.Insts)
+					}
+					if last.Cycle != r.Cycles {
+						t.Errorf("final sample cycle=%d, want %d", last.Cycle, r.Cycles)
+					}
+					if got := sn.Meta.Benchmark; got != bench {
+						t.Errorf("sampler meta benchmark=%q, want %q", got, bench)
+					}
+				})
+			}
+		}
+	}
 }
 
 // TestGoldenMatrixDeterminism double-runs one cell and requires identical

@@ -103,6 +103,9 @@ func (s *Sim) commitStage() {
 		}
 		s.committed++
 		s.lastCommitCycle = s.cycle
+		if s.replayPending && age >= s.replayUntilAge {
+			s.replayPending = false
+		}
 		s.headIdx++
 		if s.headIdx == len(s.rob) {
 			s.headIdx = 0
@@ -136,6 +139,14 @@ func (s *Sim) removeSQ(age uint64) {
 // later discards, silently skipping them from the committed stream.
 func (s *Sim) replay(r *lsq.Replay) {
 	s.replayCounts[r.Cause]++
+	if s.tel != nil {
+		// Stall attribution: the squash-to-recommit window belongs to the
+		// replay. Cleared when the replay point commits again (or, for a
+		// wrong-path-only replay, at branch recovery — the point never
+		// recommits).
+		s.replayPending = true
+		s.replayUntilAge = r.FromAge
+	}
 	s.traceMark("RPL", fmt.Sprintf("replay from age=%d cause=%v", r.FromAge, r.Cause))
 	if s.unresolvedMispredictBefore(r.FromAge) {
 		// Wrong-path-only replay: discard the squashed suffix (none of it

@@ -24,6 +24,7 @@ import (
 	"dmdc/internal/lsq"
 	"dmdc/internal/soundness"
 	"dmdc/internal/stats"
+	"dmdc/internal/telemetry"
 	"dmdc/internal/trace"
 )
 
@@ -194,6 +195,20 @@ type Sim struct {
 	sqSearches       uint64
 	sqSearchFiltered uint64
 
+	// Telemetry layer (see telemetry.go and internal/telemetry). tel == nil
+	// is the fast path: a disabled layer costs the hot loop one pointer
+	// test per cycle (plus short-circuited bool tests on the rare paths).
+	tel            *telemetry.Sampler
+	telProbe       lsq.TelemetryProbe
+	telStride      uint64
+	telCountdown   uint64
+	telFetched     uint64 // instructions fetched (both paths)
+	telIssued      uint64 // instructions issued
+	stalls         telemetry.StallCounts
+	dispStalls     telemetry.DispatchCounts
+	replayPending  bool   // a memory-order replay is being recovered
+	replayUntilAge uint64 // ...until this age commits again
+
 	// Soundness layer (see soundness.go and internal/soundness).
 	oracleRef          InstSource
 	oracle             *soundness.Oracle
@@ -298,6 +313,7 @@ func NewWithWorkload(cfg config.Machine, wl Workload, pol lsq.Policy, em *energy
 		s.polDMDC = p
 	}
 	s.tracing = s.ring != nil || s.ptrace != nil
+	s.finishTelemetry()
 	s.lastGenPC = s.wl.EntryPC()
 	return s, nil
 }
@@ -520,6 +536,7 @@ func (s *Sim) step() {
 	if s.ptrace != nil {
 		s.ptrace.tick(s.committed)
 	}
+	commit0 := s.committed
 	s.commitStage()
 	s.completeStage()
 	s.issueStage()
@@ -529,6 +546,9 @@ func (s *Sim) step() {
 	s.injectFaultBursts()
 	s.polTick()
 	s.em.Tick()
+	if s.tel != nil {
+		s.telemetryCycle(s.committed - commit0)
+	}
 	s.cycle++
 }
 
@@ -554,6 +574,13 @@ func (s *Sim) injectInvalidations() {
 
 // result snapshots all statistics.
 func (s *Sim) result() *Result {
+	if s.tel != nil {
+		// Final flush so the time series always ends at the run boundary
+		// even when the run length is not a stride multiple. Telemetry
+		// counters deliberately stay out of the Result stats: the golden
+		// fingerprints must be identical with and without a sampler.
+		s.recordTelemetrySample()
+	}
 	set := stats.NewSet()
 	set.Put("cycles", float64(s.cycle))
 	set.Put("committed", float64(s.committed))

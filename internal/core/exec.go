@@ -132,6 +132,9 @@ func (s *Sim) issueStage() {
 		}
 	}
 	s.waiting = out
+	if s.tel != nil {
+		s.telIssued += uint64(issued)
+	}
 }
 
 // beginExecution starts one instruction. It returns true when the op must
@@ -378,5 +381,6 @@ func (s *Sim) resolveBranch(e *entry) {
 	}
 	s.wpActive = false
 	s.wpStream = nil
+	s.replayPending = false // a wrong-path replay point never recommits
 	s.fetchResume = s.cycle + uint64(s.cfg.MispredictPenalty)
 }

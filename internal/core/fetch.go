@@ -4,6 +4,7 @@ import (
 	"dmdc/internal/energy"
 	"dmdc/internal/isa"
 	"dmdc/internal/lsq"
+	"dmdc/internal/telemetry"
 )
 
 // fetchQCap bounds the decoupling queue between fetch and dispatch.
@@ -33,6 +34,7 @@ func (s *Sim) fetchStage() {
 		s.fetchResume = s.cycle + uint64(lat)
 		return
 	}
+	fetched := 0
 	for i := 0; i < s.cfg.FetchWidth && s.fetchQLen() < s.fetchQCap(); i++ {
 		// Reserve the queue slot first and fill it in place: building the
 		// instruction in a local and appending would copy ~100 bytes twice,
@@ -45,6 +47,7 @@ func (s *Sim) fetchStage() {
 			s.fetchQ = s.fetchQ[:len(s.fetchQ)-1]
 			break
 		}
+		fetched++
 		if s.tracing {
 			wp := ""
 			if qi.wrongPath {
@@ -62,6 +65,9 @@ func (s *Sim) fetchStage() {
 				break
 			}
 		}
+	}
+	if s.tel != nil {
+		s.telFetched += uint64(fetched)
 	}
 }
 
@@ -156,35 +162,43 @@ func (s *Sim) dispatchStage() {
 	for n := 0; n < width && s.fetchQLen() > 0; n++ {
 		fi := &s.fetchQ[s.fqHead]
 		if s.count >= len(s.rob) {
+			s.dispatchHazard(telemetry.HazROBFull)
 			return // ROB full
 		}
 		in := &fi.inst
 		// Issue-queue space by cluster.
 		fp := in.Op.IsFP()
 		if fp && s.iqFP >= s.cfg.IQFP {
+			s.dispatchHazard(telemetry.HazIQFull)
 			return
 		}
 		if !fp && !in.Op.IsMem() && s.iqInt >= s.cfg.IQInt {
+			s.dispatchHazard(telemetry.HazIQFull)
 			return
 		}
 		if in.Op.IsMem() && s.iqInt >= s.cfg.IQInt {
+			s.dispatchHazard(telemetry.HazIQFull)
 			return // address generation uses the integer cluster
 		}
 		// Physical registers.
 		if in.HasDest() {
 			if isa.IsFPReg(in.Dest) {
 				if s.freeFP == 0 {
+					s.dispatchHazard(telemetry.HazRegsFull)
 					return
 				}
 			} else if s.freeInt == 0 {
+				s.dispatchHazard(telemetry.HazRegsFull)
 				return
 			}
 		}
 		// Memory structures.
 		if in.Op.IsLoad() && s.inflightLoads >= s.loadCap {
+			s.dispatchHazard(telemetry.HazLQFull)
 			return
 		}
 		if in.Op.IsStore() && len(s.sq) >= s.cfg.SQSize {
+			s.dispatchHazard(telemetry.HazSQFull)
 			return
 		}
 		s.insert(fi)

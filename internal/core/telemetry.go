@@ -1,0 +1,112 @@
+package core
+
+import (
+	"dmdc/internal/lsq"
+	"dmdc/internal/telemetry"
+)
+
+// Telemetry hooks. The layer is strictly observational — every hook reads
+// pipeline state and writes only telemetry-owned counters, so an
+// instrumented run commits the exact cycles an uninstrumented one does
+// (pinned by the golden observer-effect suite). When no sampler is
+// attached the entire layer reduces to nil/false tests on the hot paths;
+// when one is attached, the per-cycle work is an array increment on
+// stalled cycles plus one Sample copy per stride (the sampler mutex is
+// taken only there, never per cycle).
+
+// WithTelemetry attaches a sampling engine to the simulator. The core
+// records one Sample every sampler stride cycles (plus a final flush at
+// result time) and feeds the commit-stall taxonomy continuously.
+func WithTelemetry(t *telemetry.Sampler) Option {
+	return func(s *Sim) { s.tel = t }
+}
+
+// finishTelemetry resolves the telemetry fast paths after all options ran:
+// the cached stride, the optional policy-side probe, and the run identity.
+func (s *Sim) finishTelemetry() {
+	if s.tel == nil {
+		return
+	}
+	s.telStride = s.tel.Stride()
+	s.telCountdown = s.telStride
+	if p, ok := s.pol.(lsq.TelemetryProbe); ok {
+		s.telProbe = p
+	}
+	meta := s.wl.Meta()
+	s.tel.SetMeta(telemetry.Meta{
+		Benchmark: meta.Name,
+		Config:    s.cfg.Name,
+		Policy:    s.pol.Name(),
+	})
+}
+
+// telemetryCycle runs once per cycle when a sampler is attached: it
+// attributes a zero-commit cycle to its stall bucket and, every stride
+// cycles, records a sample.
+func (s *Sim) telemetryCycle(commits uint64) {
+	if commits == 0 {
+		s.stalls[s.classifyStall()]++
+	}
+	s.telCountdown--
+	if s.telCountdown == 0 {
+		s.telCountdown = s.telStride
+		s.recordTelemetrySample()
+	}
+}
+
+// classifyStall attributes the current zero-commit cycle. Buckets are
+// checked in priority order: a pending memory-order replay owns the whole
+// squash-to-recommit window (the machine is repairing state no matter what
+// sits at the head); an empty ROB is front-end starvation; otherwise the
+// ROB-head instruction names the culprit.
+func (s *Sim) classifyStall() telemetry.StallCause {
+	if s.replayPending {
+		return telemetry.StallReplaySquash
+	}
+	if s.count == 0 {
+		return telemetry.StallFetchStarve
+	}
+	op := s.rob[s.headIdx].inst.Op
+	switch {
+	case op.IsLoad():
+		return telemetry.StallLoadMiss
+	case op.IsStore():
+		return telemetry.StallStoreUnresolved
+	default:
+		return telemetry.StallExec
+	}
+}
+
+// dispatchHazard notes a structural dispatch stall (at most one per cycle:
+// the dispatch stage returns on the first blocking hazard).
+func (s *Sim) dispatchHazard(h telemetry.DispatchHazard) {
+	if s.tel != nil {
+		s.dispStalls[h]++
+	}
+}
+
+// recordTelemetrySample copies the pipeline gauges and cumulative counters
+// into the sampler's ring.
+func (s *Sim) recordTelemetrySample() {
+	smp := telemetry.Sample{
+		Cycle:          s.cycle,
+		Committed:      s.committed,
+		Fetched:        s.telFetched,
+		Issued:         s.telIssued,
+		ROB:            s.count,
+		IQ:             s.iqInt + s.iqFP,
+		SQ:             len(s.sq),
+		InflightLoads:  s.inflightLoads,
+		Replays:        s.replayCounts,
+		Stalls:         s.stalls,
+		DispatchStalls: s.dispStalls,
+	}
+	if s.telProbe != nil {
+		p := s.telProbe.TelemetrySample()
+		smp.CheckOcc = p.CheckOcc
+		smp.Checking = p.Checking
+		smp.FilterHits = p.FilterHits
+		smp.FilterLookups = p.FilterLookups
+	}
+	s.tel.Record(smp)
+}

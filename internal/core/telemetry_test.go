@@ -1,0 +1,179 @@
+package core
+
+// Stall-taxonomy tests: scripted workloads engineered so one stall cause
+// dominates, pinning the commit-stall attribution of the telemetry layer.
+// Each scenario requires ≥90% of all stall cycles to land in the expected
+// core_stall_* bucket — a misclassification (e.g. a replay window charged
+// to the load at the head, or an unresolved store charged to starvation)
+// shifts whole windows of cycles and fails the threshold immediately.
+
+import (
+	"testing"
+
+	"dmdc/internal/config"
+	"dmdc/internal/energy"
+	"dmdc/internal/isa"
+	"dmdc/internal/soundness"
+	"dmdc/internal/telemetry"
+)
+
+// telemetrySim builds a config2 baseline-CAM pipeline over the scripted
+// sequence with a fine-stride sampler attached, forwarding extra options
+// (fault campaigns) to the core.
+func telemetrySim(t *testing.T, insts []isa.Inst, opts ...Option) (*Sim, *telemetry.Sampler) {
+	t.Helper()
+	cfg := config.Config2()
+	em := energy.NewModel(cfg.CoreSize())
+	sampler := telemetry.New(telemetry.Config{Stride: 64})
+	opts = append(opts, WithTelemetry(sampler))
+	s, err := NewWithWorkload(cfg, newScripted(insts), camFactory(cfg, em), em, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, sampler
+}
+
+// assertStallBucket requires bucket to own at least 90% of all attributed
+// stall cycles, and stalls to be a meaningful share of the run (a scenario
+// that barely stalls would pass the ratio vacuously).
+func assertStallBucket(t *testing.T, sampler *telemetry.Sampler, bucket telemetry.StallCause) {
+	t.Helper()
+	sn := sampler.Snapshot()
+	counts, _ := sn.StallBreakdown()
+	total := counts.Total()
+	if total == 0 {
+		t.Fatal("no stall cycles attributed at all")
+	}
+	last, _ := sn.Last()
+	if frac := float64(total) / float64(last.Cycle); frac < 0.5 {
+		t.Errorf("scenario not stall-bound: only %.0f%% of %d cycles stalled", 100*frac, last.Cycle)
+	}
+	if got := float64(counts[bucket]) / float64(total); got < 0.9 {
+		t.Errorf("%s owns %.1f%% of stall cycles, want ≥90%%", bucket.StatName(), 100*got)
+		for c := 0; c < telemetry.NumStallCauses; c++ {
+			t.Logf("  %-28s %d", telemetry.StallCause(c).StatName(), counts[c])
+		}
+	}
+}
+
+// A stream of independent loads, each touching a never-before-seen line:
+// every access is a compulsory miss all the way to memory (120 cycles), so
+// the ROB head is almost always a load waiting on the hierarchy.
+func TestStallTaxonomyLoadMissBound(t *testing.T) {
+	const n = 400
+	script := make([]isa.Inst, 0, n)
+	for i := 0; i < n; i++ {
+		script = append(script, isa.Inst{
+			Op: isa.OpLoad, Dest: int16(8 + i%8), Src1: 1, Src2: isa.RegNone,
+			Addr: 0x4000_0000 + uint64(i)*4096, Size: 8,
+		})
+	}
+	s, sampler := telemetrySim(t, script)
+	s.MustRun(n)
+	assertStallBucket(t, sampler, telemetry.StallLoadMiss)
+}
+
+// A stream of ready-operand stores to disjoint addresses, every one of
+// which has its address resolution delayed 200 cycles by the deterministic
+// fault injector: commit sits behind an unresolved store essentially the
+// whole run.
+func TestStallTaxonomyStoreResolveBound(t *testing.T) {
+	const n = 400
+	script := make([]isa.Inst, 0, n)
+	for i := 0; i < n; i++ {
+		script = append(script, isa.Inst{
+			Op: isa.OpStore, Dest: isa.RegNone, Src1: 1, Src2: 2,
+			Addr: 0x5000_0000 + uint64(i)*8, Size: 8,
+		})
+	}
+	s, sampler := telemetrySim(t, script,
+		WithFaults(soundness.FaultSpec{StoreDelay: 200, StoreDelayEvery: 1}))
+	s.MustRun(n)
+	assertStallBucket(t, sampler, telemetry.StallStoreUnresolved)
+}
+
+// A replay storm: cache-hitting loads with a spurious replay injected at
+// every second load-commit attempt. Each squash-to-recommit window must be
+// charged to the replay, not to the (innocent) load that lands back at the
+// ROB head — the replayPending priority in classifyStall is what this pins.
+func TestStallTaxonomyReplayStorm(t *testing.T) {
+	const n = 600
+	script := make([]isa.Inst, 0, n)
+	for i := 0; i < n; i++ {
+		// Same cache line throughout: one compulsory miss, then hits, so
+		// load-miss stalls cannot compete with the replay windows.
+		script = append(script, isa.Inst{
+			Op: isa.OpLoad, Dest: int16(8 + i%8), Src1: 1, Src2: isa.RegNone,
+			Addr: 0x6000_0000 + uint64(i%8)*8, Size: 8,
+		})
+	}
+	s, sampler := telemetrySim(t, script,
+		WithFaults(soundness.FaultSpec{SpuriousEvery: 2}))
+	r := s.MustRun(n)
+	if got := r.Stats.Get("core_replays_total"); got < float64(n)/4 {
+		t.Fatalf("replay storm fizzled: %v replays for %d loads", got, n)
+	}
+	assertStallBucket(t, sampler, telemetry.StallReplaySquash)
+}
+
+// Dispatch-hazard attribution: a serialized FP-divide chain pins the ROB
+// head (occupying only the FP issue queue) while ready stores behind it
+// issue, complete, and pile up in the store queue — once the SQ hits its 48
+// entries, every further dispatch cycle must be charged to sq_full. All PCs
+// share one I-cache line so the front end streams at full width —
+// otherwise cold I-misses throttle fetch below the point of SQ pressure.
+func TestDispatchHazardAttribution(t *testing.T) {
+	const chain, stores = 20, 300
+	script := make([]isa.Inst, 0, chain+stores)
+	for i := 0; i < chain; i++ {
+		script = append(script, isa.Inst{
+			Op: isa.OpFDiv, Dest: 40, Src1: 40, Src2: 41,
+			PC: 0x40_0000,
+		})
+	}
+	for i := 0; i < stores; i++ {
+		script = append(script, isa.Inst{
+			Op: isa.OpStore, Dest: isa.RegNone, Src1: 1, Src2: 2,
+			PC:   0x40_0000 + uint64(i%16)*4,
+			Addr: 0x7000_0000 + uint64(i)*8, Size: 8,
+		})
+	}
+	s, sampler := telemetrySim(t, script)
+	s.MustRun(chain + stores)
+	sn := sampler.Snapshot()
+	last, ok := sn.Last()
+	if !ok {
+		t.Fatal("no samples")
+	}
+	disp := last.DispatchStalls
+	if disp.Total() == 0 {
+		t.Fatal("store queue saturation produced no dispatch hazard stalls")
+	}
+	if got := float64(disp[telemetry.HazSQFull]) / float64(disp.Total()); got < 0.9 {
+		t.Errorf("sq_full owns %.1f%% of dispatch stalls, want ≥90%%", 100*got)
+		for h := 0; h < telemetry.NumDispatchHazards; h++ {
+			t.Logf("  %-28s %d", telemetry.DispatchHazard(h).StatName(), disp[h])
+		}
+	}
+}
+
+// The flush sample recorded at result time must carry the exact final
+// architected counts, so exporters never truncate the tail of a run that
+// ends mid-stride.
+func TestTelemetryFlushSample(t *testing.T) {
+	script := []isa.Inst{nop(8), nop(9), nop(10)}
+	s, sampler := telemetrySim(t, script)
+	r := s.MustRun(777) // deliberately not a multiple of the stride
+	sn := sampler.Snapshot()
+	last, ok := sn.Last()
+	if !ok {
+		t.Fatal("no samples")
+	}
+	if last.Committed != r.Insts || last.Cycle != r.Cycles {
+		t.Errorf("flush sample (cycle %d, committed %d) != result (cycle %d, committed %d)",
+			last.Cycle, last.Committed, r.Cycles, r.Insts)
+	}
+	if sn.Meta.Benchmark != "scripted" {
+		t.Errorf("meta benchmark = %q, want scripted", sn.Meta.Benchmark)
+	}
+}

@@ -19,6 +19,7 @@ import (
 	"dmdc/internal/lsq"
 	"dmdc/internal/resultcache"
 	"dmdc/internal/soundness"
+	"dmdc/internal/telemetry"
 	"dmdc/internal/trace"
 )
 
@@ -53,6 +54,16 @@ type Options struct {
 	// a commit before a run fails with a state dump); 0 keeps the core
 	// default.
 	WatchdogCycles uint64
+	// Telemetry, when non-nil, attaches a sampling engine to every
+	// *simulated* run (cache hits carry no samples): per-job time series
+	// and stall attribution land in the suite Registry (see
+	// Suite.Telemetry) keyed "<run key>/<benchmark>". Zero config fields
+	// take the telemetry defaults.
+	Telemetry *telemetry.Config
+	// TelemetryDir, when non-empty, exports each simulated job's telemetry
+	// as CSV + JSON time series + Chrome trace files under this directory
+	// (implies Telemetry with defaults when unset).
+	TelemetryDir string
 }
 
 // DefaultOptions returns options suitable for regenerating the paper's
@@ -73,6 +84,9 @@ func (o Options) normalized() (Options, error) {
 	}
 	if err := o.Faults.Validate(); err != nil {
 		return o, err
+	}
+	if o.TelemetryDir != "" && o.Telemetry == nil {
+		o.Telemetry = &telemetry.Config{}
 	}
 	if len(o.Benchmarks) == 0 {
 		o.Benchmarks = trace.Names()
@@ -319,6 +333,15 @@ func (s *Suite) runJob(sp runSpec, bench string) (r *core.Result, cached bool, e
 	if s.opts.WatchdogCycles > 0 {
 		opts = append(opts, core.WithWatchdog(s.opts.WatchdogCycles))
 	}
+	var sampler *telemetry.Sampler
+	if s.telemetry != nil {
+		// Each job records into its own sampler (no cross-job bleed) and is
+		// registered before the run starts so a live endpoint can watch it
+		// fill in.
+		sampler = telemetry.New(*s.opts.Telemetry)
+		s.telemetry.Register(jobKey(sp.key, bench), sampler)
+		opts = append(opts, core.WithTelemetry(sampler))
+	}
 	sim, err := core.New(sp.machine, prof, pol, em, opts...)
 	if err != nil {
 		return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: err}
@@ -332,6 +355,13 @@ func (s *Suite) runJob(sp runSpec, bench string) (r *core.Result, cached bool, e
 		// Best-effort: a failed write only costs a recompute next time;
 		// the cache counts it (WriteErrors) for observability.
 		s.cache.Put(key, r)
+	}
+	if sampler != nil && s.opts.TelemetryDir != "" {
+		// The simulation itself succeeded; an export failure is still an
+		// error (the caller asked for the files), labeled like any other.
+		if werr := writeJobTelemetry(s.opts.TelemetryDir, jobKey(sp.key, bench), sampler.Snapshot()); werr != nil {
+			return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: werr}
+		}
 	}
 	return r, false, nil
 }

@@ -10,6 +10,7 @@ import (
 	"dmdc/internal/core"
 	"dmdc/internal/lsq"
 	"dmdc/internal/resultcache"
+	"dmdc/internal/telemetry"
 )
 
 // Monitor sweep parameters for Figures 2 and 3.
@@ -42,8 +43,9 @@ func keyQueue(n int) string       { return fmt.Sprintf("dmdc-queue%d", n) }
 // A Suite is safe for concurrent use; overlapping requests for the same
 // run key are single-flighted so each spec simulates at most once.
 type Suite struct {
-	opts  Options
-	cache *resultcache.Cache // nil when Options.CacheDir is empty
+	opts      Options
+	cache     *resultcache.Cache  // nil when Options.CacheDir is empty
+	telemetry *telemetry.Registry // nil when Options.Telemetry is nil
 
 	simulated atomic.Uint64 // simulations actually executed (cache hits excluded)
 
@@ -77,6 +79,9 @@ func NewSuite(o Options) (*Suite, error) {
 			return nil, err
 		}
 		s.cache = c
+	}
+	if no.Telemetry != nil {
+		s.telemetry = telemetry.NewRegistry()
 	}
 	return s, nil
 }

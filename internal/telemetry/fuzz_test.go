@@ -1,0 +1,117 @@
+package telemetry
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"testing"
+)
+
+// samplesFromBytes deterministically decodes fuzz input into a sample
+// series: each 16-byte chunk yields one sample whose fields are carved from
+// the chunk, deliberately unclamped — cycles may go backwards, counters may
+// sit near the uint64 edge — so the exporters face the worst series the
+// ring could ever hand them.
+func samplesFromBytes(data []byte) []Sample {
+	var out []Sample
+	for len(data) >= 16 && len(out) < 512 {
+		a := binary.LittleEndian.Uint64(data[:8])
+		b := binary.LittleEndian.Uint64(data[8:16])
+		data = data[16:]
+		s := Sample{
+			Cycle:         a,
+			Committed:     b,
+			Fetched:       a ^ b,
+			Issued:        a >> 3,
+			ROB:           int(int8(a)),  // may be negative
+			IQ:            int(int16(b)), // may be negative
+			SQ:            int(a % 97),
+			InflightLoads: int(b % 131),
+			CheckOcc:      int(int8(b >> 8)),
+			Checking:      a&1 == 1,
+			FilterHits:    b,
+			FilterLookups: a,
+		}
+		for i := range s.Stalls {
+			s.Stalls[i] = a >> (8 * uint(i%8))
+		}
+		for i := range s.DispatchStalls {
+			s.DispatchStalls[i] = b >> (8 * uint(i%8))
+		}
+		for i := range s.Replays {
+			s.Replays[i] = (a * uint64(i+1)) ^ b
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// FuzzTraceEventExport drives the full export pipeline — ring recording,
+// snapshot, Chrome trace_event, CSV, and series JSON — with arbitrary
+// sample series, requiring every output to stay structurally valid: the
+// trace decodes as JSON with known phases and non-negative times, and no
+// exporter may panic or emit a wrapped interval.
+func FuzzTraceEventExport(f *testing.F) {
+	// Seeds: empty, a single chunk, a monotonic pair, a regressing pair,
+	// and extreme values.
+	f.Add([]byte{})
+	f.Add(bytes.Repeat([]byte{0x01}, 16))
+	f.Add([]byte{
+		100, 0, 0, 0, 0, 0, 0, 0, 50, 0, 0, 0, 0, 0, 0, 0,
+		200, 0, 0, 0, 0, 0, 0, 0, 150, 0, 0, 0, 0, 0, 0, 0,
+	})
+	f.Add([]byte{
+		200, 0, 0, 0, 0, 0, 0, 0, 150, 0, 0, 0, 0, 0, 0, 0,
+		100, 0, 0, 0, 0, 0, 0, 0, 250, 0, 0, 0, 0, 0, 0, 0,
+	})
+	f.Add(bytes.Repeat([]byte{0xff}, 48))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		samples := samplesFromBytes(data)
+		s := New(Config{Stride: 64, Cap: 32}) // small ring: wrap constantly
+		s.SetMeta(Meta{Benchmark: "fuzz", Config: "config2", Policy: "dmdc"})
+		for _, smp := range samples {
+			s.Record(smp)
+		}
+		sn := s.Snapshot()
+		if want := len(samples); int(sn.Total) != want {
+			t.Fatalf("total = %d, want %d", sn.Total, want)
+		}
+
+		var trace bytes.Buffer
+		if err := sn.WriteChromeTrace(&trace); err != nil {
+			t.Fatalf("chrome trace: %v", err)
+		}
+		tr := validateChromeTrace(t, trace.Bytes())
+		// Counter values must survive a decode as plain JSON numbers.
+		for _, e := range tr.TraceEvents {
+			if e.Ph != "C" {
+				continue
+			}
+			if _, err := json.Marshal(e.Args); err != nil {
+				t.Fatalf("counter args not re-marshalable: %v", err)
+			}
+		}
+
+		var csv bytes.Buffer
+		if err := sn.WriteCSV(&csv); err != nil {
+			t.Fatalf("csv: %v", err)
+		}
+		if n := bytes.Count(csv.Bytes(), []byte{'\n'}); n != 1+len(sn.Samples) {
+			t.Fatalf("csv has %d lines, want %d", n, 1+len(sn.Samples))
+		}
+
+		var series bytes.Buffer
+		if err := sn.WriteJSON(&series); err != nil {
+			t.Fatalf("series json: %v", err)
+		}
+		var back Snapshot
+		if err := json.Unmarshal(series.Bytes(), &back); err != nil {
+			t.Fatalf("series json does not decode: %v", err)
+		}
+		if len(back.Samples) != len(sn.Samples) {
+			t.Fatalf("series round-trip lost samples: %d != %d",
+				len(back.Samples), len(sn.Samples))
+		}
+	})
+}
