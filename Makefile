@@ -2,11 +2,13 @@
 #
 #   make build       compile everything
 #   make test        tier-1: full test suite (what CI gates on)
-#   make check       vet + race-enabled tests for the concurrent packages
-#                    (experiment runner, result cache) — keeps the
+#   make check       vet + the API-surface gate (api.txt) + race-enabled
+#                    tests for the concurrent packages (experiment runner,
+#                    result cache, simulation service) — keeps the
 #                    singleflight and worker-pool fixes fixed — plus the
 #                    soundness suite (oracle, fault injection, watchdog)
 #                    and a short fuzz pass over both fuzz targets
+#   make api-check   just the API-surface comparison
 #   make fuzz-short  60s split across the fuzz targets
 #   make bench       simulator-throughput benchmarks (BENCH_COUNT reps),
 #                    medians recorded into BENCH_core.json via cmd/benchjson
@@ -19,7 +21,7 @@ GO ?= go
 CACHE_DIR ?= .dmdc-cache
 BENCH_COUNT ?= 5
 
-.PHONY: all build test check vet race soundness fuzz-short cover bench bench-smoke bench-all report clean-cache
+.PHONY: all build test check vet api-check race soundness fuzz-short cover bench bench-smoke bench-all report clean-cache
 
 all: build test check
 
@@ -35,7 +37,7 @@ vet:
 # -short skips the slow paper-shape regressions (tier-1's job); the
 # singleflight/worker-pool/cache concurrency tests all run in short mode.
 race:
-	$(GO) test -race -short ./internal/experiments/... ./internal/resultcache/... ./internal/core/...
+	$(GO) test -race -short ./internal/experiments/... ./internal/resultcache/... ./internal/core/... ./internal/dserve/...
 
 # The soundness suite: lockstep oracle across every policy, the full
 # fault-injection campaign, watchdog and wrong-path error paths, and the
@@ -56,7 +58,13 @@ cover:
 	$(GO) test -coverprofile=cover.out -coverpkg=./... ./...
 	$(GO) tool cover -func=cover.out | tail -1
 
-check: vet race soundness bench-smoke fuzz-short cover
+# The public API surface of package dmdc, pinned byte-for-byte. After an
+# intentional API change: `go run ./cmd/apicheck -update`, review the
+# api.txt diff, commit it.
+api-check:
+	$(GO) run ./cmd/apicheck
+
+check: vet api-check race soundness bench-smoke fuzz-short cover
 
 # Core-simulator throughput, recorded. Medians over BENCH_COUNT repetitions
 # land in the "current" section of BENCH_core.json; the "pre_pr3" section

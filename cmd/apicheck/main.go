@@ -1,0 +1,75 @@
+// Command apicheck gates the public API surface: it renders the root
+// package's exported declarations (internal/apigen) and compares them
+// against the committed golden api.txt. Any drift — a changed signature,
+// a removed function, a new exported type — fails the check until the
+// golden is regenerated and the diff reviewed like source.
+//
+// Usage:
+//
+//	apicheck            # compare, exit 1 on drift
+//	apicheck -update    # rewrite api.txt after an intentional API change
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dmdc/internal/apigen"
+)
+
+func main() {
+	var (
+		pkgDir = flag.String("pkg", ".", "package directory to render")
+		golden = flag.String("golden", "api.txt", "committed API golden file")
+		update = flag.Bool("update", false, "rewrite the golden instead of comparing")
+	)
+	flag.Parse()
+
+	got, err := apigen.Render(*pkgDir)
+	if err != nil {
+		die(err)
+	}
+	if *update {
+		if err := os.WriteFile(*golden, []byte(got), 0o644); err != nil {
+			die(err)
+		}
+		fmt.Fprintf(os.Stderr, "apicheck: wrote %s\n", *golden)
+		return
+	}
+	want, err := os.ReadFile(*golden)
+	if err != nil {
+		die(fmt.Errorf("%w (run `apicheck -update` to create it)", err))
+	}
+	if got == string(want) {
+		fmt.Fprintln(os.Stderr, "apicheck: API surface matches", *golden)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "apicheck: API surface drifted from %s\n%s\n", *golden, firstDiff(string(want), got))
+	fmt.Fprintln(os.Stderr, "apicheck: review the change, then run `go run ./cmd/apicheck -update` and commit the diff")
+	os.Exit(1)
+}
+
+// firstDiff locates the first differing line for a readable failure.
+func firstDiff(want, got string) string {
+	wl, gl := strings.Split(want, "\n"), strings.Split(got, "\n")
+	for i := 0; i < len(wl) || i < len(gl); i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w != g {
+			return fmt.Sprintf("  line %d:\n  - %s\n  + %s", i+1, w, g)
+		}
+	}
+	return "  (length difference only)"
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "apicheck:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,84 @@
+// Command dmdcd serves simulation jobs over HTTP/JSON: a worker pool
+// behind the internal/dserve job API, fronting the same execution path,
+// persistent result cache, and telemetry registry the in-process tools
+// use. One or more dmdcd processes form the backend fleet for the
+// experiments -backends flag (or any dserve.Dispatcher).
+//
+// Usage:
+//
+//	dmdcd -addr :8321
+//	dmdcd -addr :8321 -workers 8 -cache-dir ~/.cache/dmdc
+//	dmdcd -addr :8321 -telemetry-stride 4096
+//
+// Submit a job with curl:
+//
+//	curl -s localhost:8321/v1/jobs -d '{"jobs":[{"machine":{},"run_key":"dmdc-global-config2","benchmark":"gcc","insts":100000}]}'
+//	curl -s localhost:8321/v1/jobs/ID?wait=10s
+//	curl -s localhost:8321/v1/jobs/ID/result
+//	curl -s localhost:8321/v1/healthz
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dmdc/internal/dserve"
+	"dmdc/internal/resultcache"
+	"dmdc/internal/telemetry"
+)
+
+func main() {
+	var (
+		addr      = flag.String("addr", ":8321", "listen address")
+		workers   = flag.Int("workers", 0, "concurrent simulations (0 = GOMAXPROCS)")
+		queue     = flag.Int("queue", 0, "admitted-job queue depth before backpressure (0 = 4x workers)")
+		cacheDir  = flag.String("cache-dir", os.Getenv("DMDC_CACHE"), "persistent result cache directory (default $DMDC_CACHE; empty disables)")
+		telStride = flag.Uint64("telemetry-stride", 0, "per-job telemetry sample interval in cycles (0 disables /v1/telemetry)")
+	)
+	flag.Parse()
+
+	cfg := dserve.ServerConfig{Workers: *workers, QueueDepth: *queue}
+	if *cacheDir != "" {
+		c, err := resultcache.Open(*cacheDir)
+		if err != nil {
+			die(err)
+		}
+		cfg.Cache = c
+		fmt.Fprintf(os.Stderr, "dmdcd: result cache at %s\n", c.Dir())
+	}
+	if *telStride > 0 {
+		cfg.Telemetry = &telemetry.Config{Stride: *telStride}
+	}
+
+	srv := dserve.NewServer(cfg)
+	hs := &http.Server{Addr: *addr, Handler: srv}
+
+	// SIGINT/SIGTERM drain the listener, then cancel in-flight jobs; a
+	// dispatcher sees those failures as retryable and reroutes them.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		fmt.Fprintln(os.Stderr, "dmdcd: shutting down")
+		sctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		hs.Shutdown(sctx)
+		srv.Close()
+	}()
+
+	fmt.Fprintf(os.Stderr, "dmdcd: serving on %s\n", *addr)
+	if err := hs.ListenAndServe(); err != nil && err != http.ErrServerClosed {
+		die(err)
+	}
+}
+
+func die(err error) {
+	fmt.Fprintln(os.Stderr, "dmdcd:", err)
+	os.Exit(1)
+}

@@ -18,9 +18,11 @@ import (
 	"fmt"
 	"os"
 
+	"dmdc"
 	"dmdc/internal/config"
 	"dmdc/internal/core"
 	"dmdc/internal/energy"
+	"dmdc/internal/experiments"
 	"dmdc/internal/lsq"
 	"dmdc/internal/soundness"
 	"dmdc/internal/telemetry"
@@ -32,7 +34,7 @@ func main() {
 	var (
 		bench    = flag.String("bench", "gcc", "benchmark name (see -list)")
 		machine  = flag.String("config", "config2", "machine configuration: config1, config2, or config3")
-		policy   = flag.String("policy", "dmdc", "LQ policy: cam, yla, bloom, dmdc, dmdc-local, dmdc-queue, agetable, value, value-svw, unsound")
+		policy   = flag.String("policy", "dmdc", "LQ policy: baseline (alias cam), yla, dmdc, dmdc-local, agetable, value-based (alias value), value-svw, plus CLI specials bloom, dmdc-queue, unsound")
 		insts    = flag.Uint64("insts", 1_000_000, "committed instructions to simulate")
 		invRate  = flag.Float64("inv", 0, "external invalidations per 1000 cycles")
 		queue    = flag.Int("queue", 16, "checking-queue entries (dmdc-queue policy)")
@@ -205,44 +207,37 @@ func reportTelemetry(sn telemetry.Snapshot, outPrefix string) {
 	write(outPrefix+".trace.json", func(f *os.File) error { return sn.WriteChromeTrace(f) })
 }
 
-// newPolicy builds the selected load-queue policy. The "unsound" choice
-// wraps the CAM baseline in a replay-suppressing shim — a deliberately
-// broken policy used to demonstrate the -oracle flag catching real
+// newPolicy builds the selected load-queue policy. Canonical policy
+// names (and the cam/value aliases) resolve through dmdc.ParsePolicy and
+// the shared experiments factory table, so this CLI constructs exactly
+// what the library facade and the dmdcd server construct. Three CLI-only
+// specials stay local: "bloom" and "dmdc-queue" expose sweep knobs
+// (-bloom, -queue) that canonical policies pin, and "unsound" wraps the
+// CAM baseline in a replay-suppressing shim — a deliberately broken
+// policy used to demonstrate the -oracle flag catching real
 // memory-ordering violations (pair it with -faults storedelay=40@3).
 func newPolicy(name string, m config.Machine, em *energy.Model, queue, bloomSz int) (lsq.Policy, error) {
 	switch name {
-	case "cam":
-		return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize}, em)
-	case "yla":
-		return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterYLA, YLARegs: 8}, em)
 	case "bloom":
 		return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterBloom, BloomSize: bloomSz}, em)
-	case "dmdc":
-		return lsq.NewDMDC(lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize), em)
-	case "dmdc-local":
-		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
-		cfg.Local = true
-		return lsq.NewDMDC(cfg, em)
 	case "dmdc-queue":
-		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
-		cfg.TableSize = 0
-		cfg.QueueSize = queue
-		return lsq.NewDMDC(cfg, em)
-	case "agetable":
-		return lsq.NewAgeTable(lsq.AgeTableConfig{TableSize: m.CheckTable, LQSize: m.ROBSize}, em)
-	case "value":
-		return lsq.NewValueBased(lsq.ValueBasedConfig{LoadCap: m.ROBSize}, em)
-	case "value-svw":
-		return lsq.NewValueBased(lsq.ValueBasedConfig{SVW: true, SVWSize: m.CheckTable, LoadCap: m.ROBSize}, em)
+		return experiments.DMDCQueueFactory(queue)(m, em)
 	case "unsound":
 		inner, err := lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize}, em)
 		if err != nil {
 			return nil, err
 		}
 		return soundness.NewUnsound(inner), nil
-	default:
-		return nil, fmt.Errorf("unknown policy %q", name)
 	}
+	kind, err := dmdc.ParsePolicy(name)
+	if err != nil {
+		return nil, fmt.Errorf("unknown policy %q (canonical names plus bloom, dmdc-queue, unsound)", name)
+	}
+	f, err := experiments.PolicyFactoryByName(kind.String())
+	if err != nil {
+		return nil, err
+	}
+	return f(m, em)
 }
 
 func fatal(err error) {

@@ -25,8 +25,10 @@ import (
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 	"time"
 
+	"dmdc/internal/dserve"
 	"dmdc/internal/experiments"
 	"dmdc/internal/resultcache"
 	"dmdc/internal/soundness"
@@ -53,6 +55,9 @@ func main() {
 		telDir     = flag.String("telemetry-dir", "", "export per-job time series (CSV/JSON) and Chrome traces to this directory (enables telemetry)")
 		telStride  = flag.Uint64("telemetry-stride", 0, "telemetry sample interval in cycles (0 = default; setting it enables telemetry)")
 		serveAddr  = flag.String("serve", "", "serve a live observability endpoint on this address (/telemetry, expvar at /debug/vars, pprof at /debug/pprof; enables telemetry)")
+		backendsFl = flag.String("backends", "", "comma-separated dmdcd base URLs; shard every simulation across them instead of running in-process (e.g. http://h1:8321,http://h2:8321)")
+		inflight   = flag.Int("inflight", 0, "with -backends: concurrent jobs per backend (0 = 4)")
+		hedgeAfter = flag.Duration("hedge-after", 0, "with -backends: re-dispatch a still-running job on a second backend after this delay (0 disables hedging)")
 	)
 	flag.Parse()
 
@@ -105,6 +110,26 @@ func main() {
 	if *telDir != "" || *telStride > 0 || *serveAddr != "" {
 		opts.Telemetry = &telemetry.Config{Stride: *telStride}
 		opts.TelemetryDir = *telDir
+	}
+	var disp *dserve.Dispatcher
+	if *backendsFl != "" {
+		var backends []experiments.Backend
+		for _, u := range strings.Split(*backendsFl, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				backends = append(backends, dserve.NewRemote(u, nil))
+			}
+		}
+		// The suite's own cache (-cache-dir) already fronts the backend, so
+		// the dispatcher itself runs cacheless here.
+		disp, err = dserve.NewDispatcher(dserve.DispatcherConfig{
+			Backends:           backends,
+			PerBackendInflight: *inflight,
+			HedgeAfter:         *hedgeAfter,
+		})
+		if err != nil {
+			die(err)
+		}
+		opts.Backend = disp
 	}
 	suite, err := experiments.NewSuite(opts)
 	if err != nil {
@@ -185,6 +210,11 @@ func main() {
 	}
 	fmt.Fprintf(os.Stderr, "elapsed: %s — %s\n",
 		time.Since(start).Round(time.Millisecond), runSummary(suite))
+	if disp != nil {
+		st := disp.Stats()
+		fmt.Fprintf(os.Stderr, "backends: %d dispatched, %d retries, %d hedges, %d deduped\n",
+			st.Dispatched, st.Retries, st.Hedges, st.Deduped)
+	}
 
 	if *out != "" {
 		if err := os.WriteFile(*out, []byte(report), 0o644); err != nil {

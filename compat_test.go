@@ -1,0 +1,171 @@
+package dmdc_test
+
+// API-redesign compatibility suite: the deprecated positional entry
+// points must remain byte-identical facades over Run(ctx, Request), and
+// the context threaded through Run must cancel a simulation promptly
+// without ever surfacing as a watchdog or soundness failure.
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+	"time"
+
+	"dmdc"
+)
+
+// compatInsts keeps the compat cells quick while still exercising
+// thousands of cycles of pipeline behavior.
+const compatInsts = 50_000
+
+// fingerprintJSON renders a Result exactly like the golden suite does.
+func fingerprintJSON(t *testing.T, r *dmdc.Result) []byte {
+	t.Helper()
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		t.Fatalf("marshal result: %v", err)
+	}
+	return b
+}
+
+// TestSimulateMatchesRun pins the deprecated wrapper contract: Simulate
+// is exactly Run(context.Background(), Request{...}), down to the last
+// stat counter and energy event.
+func TestSimulateMatchesRun(t *testing.T) {
+	t.Parallel()
+	old, err := dmdc.Simulate(dmdc.Config2(), "gcc", dmdc.PolicyDMDC, compatInsts)
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	req := dmdc.Request{
+		Machine:   dmdc.Config2(),
+		Benchmark: "gcc",
+		Policy:    dmdc.PolicyDMDC,
+		Insts:     compatInsts,
+	}
+	nu, err := dmdc.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if oldJ, nuJ := fingerprintJSON(t, old), fingerprintJSON(t, nu); !json.Valid(oldJ) || string(oldJ) != string(nuJ) {
+		t.Fatalf("Simulate and Run diverged:\nold: %.200s\nnew: %.200s", oldJ, nuJ)
+	}
+}
+
+// TestSimulateVerifiedMatchesRun pins the oracle-attached wrapper the
+// same way (Verify: true must construct the identical simulation).
+func TestSimulateVerifiedMatchesRun(t *testing.T) {
+	t.Parallel()
+	old, err := dmdc.SimulateVerified(dmdc.Config1(), "swim", dmdc.PolicyBaseline, compatInsts)
+	if err != nil {
+		t.Fatalf("SimulateVerified: %v", err)
+	}
+	nu, err := dmdc.Run(context.Background(), dmdc.Request{
+		Machine:   dmdc.Config1(),
+		Benchmark: "swim",
+		Policy:    dmdc.PolicyBaseline,
+		Insts:     compatInsts,
+		Verify:    true,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if oldJ, nuJ := fingerprintJSON(t, old), fingerprintJSON(t, nu); string(oldJ) != string(nuJ) {
+		t.Fatalf("SimulateVerified and Run{Verify} diverged:\nold: %.200s\nnew: %.200s", oldJ, nuJ)
+	}
+	if got := old.Stats.Get("oracle_checked_insts"); got < compatInsts {
+		t.Fatalf("oracle checked %v insts, want at least %d", got, compatInsts)
+	}
+}
+
+// TestRunDefaults pins the documented zero-value behavior: machine
+// defaults to Config2, insts to 1M (checked via a tiny explicit run), and
+// a missing benchmark is an error naming the valid set.
+func TestRunDefaults(t *testing.T) {
+	t.Parallel()
+	if _, err := dmdc.Run(context.Background(), dmdc.Request{}); err == nil {
+		t.Fatal("Run with no benchmark succeeded, want error")
+	}
+	r, err := dmdc.Run(context.Background(), dmdc.Request{Benchmark: "gzip", Insts: 10_000})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if r.Config != dmdc.Config2().Name {
+		t.Fatalf("zero Machine ran on %s, want %s", r.Config, dmdc.Config2().Name)
+	}
+}
+
+// TestRunCancellation cancels a verified, watchdogged run mid-flight and
+// requires the clean contract: the error is context.Canceled — never a
+// soundness or watchdog failure dressed up as one — and Run returns
+// promptly instead of finishing the instruction budget.
+func TestRunCancellation(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := dmdc.Run(ctx, dmdc.Request{
+		Benchmark:      "gcc",
+		Policy:         dmdc.PolicyDMDC,
+		Insts:          500_000_000, // far beyond what 20ms can simulate
+		Verify:         true,
+		WatchdogCycles: 10_000,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled run returned %v, want context.Canceled", err)
+	}
+	var se *dmdc.SoundnessError
+	var we *dmdc.WatchdogError
+	if errors.As(err, &se) || errors.As(err, &we) {
+		t.Fatalf("cancellation surfaced as a soundness/watchdog error: %v", err)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation took %s, want prompt return", elapsed)
+	}
+}
+
+// TestParsePolicyRoundTrip sweeps every declared policy through
+// String→ParsePolicy and the JSON text-marshaling path.
+func TestParsePolicyRoundTrip(t *testing.T) {
+	t.Parallel()
+	kinds := []dmdc.PolicyKind{
+		dmdc.PolicyBaseline, dmdc.PolicyYLA, dmdc.PolicyDMDC, dmdc.PolicyDMDCLocal,
+		dmdc.PolicyAgeTable, dmdc.PolicyValueBased, dmdc.PolicyValueSVW,
+	}
+	for _, k := range kinds {
+		got, err := dmdc.ParsePolicy(k.String())
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", k.String(), err)
+		}
+		if got != k {
+			t.Fatalf("ParsePolicy(%q) = %v, want %v", k.String(), got, k)
+		}
+		b, err := json.Marshal(k)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", k, err)
+		}
+		var back dmdc.PolicyKind
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != k {
+			t.Fatalf("JSON round trip %v → %s → %v", k, b, back)
+		}
+	}
+	for alias, want := range map[string]dmdc.PolicyKind{
+		"cam":   dmdc.PolicyBaseline,
+		"value": dmdc.PolicyValueBased,
+	} {
+		got, err := dmdc.ParsePolicy(alias)
+		if err != nil || got != want {
+			t.Fatalf("ParsePolicy(%q) = %v, %v; want %v", alias, got, err, want)
+		}
+	}
+	if _, err := dmdc.ParsePolicy("no-such-policy"); err == nil {
+		t.Fatal("ParsePolicy accepted an unknown name")
+	}
+}

@@ -11,7 +11,12 @@
 //
 // Quick use:
 //
-//	r, err := dmdc.Simulate(dmdc.Config2(), "gcc", dmdc.PolicyDMDC, 1_000_000)
+//	r, err := dmdc.Run(ctx, dmdc.Request{
+//		Machine:   dmdc.Config2(),
+//		Benchmark: "gcc",
+//		Policy:    dmdc.PolicyDMDC,
+//		Insts:     1_000_000,
+//	})
 //	fmt.Println(r.IPC(), r.Energy.LQEnergy())
 //
 // or regenerate the paper's evaluation:
@@ -21,7 +26,9 @@
 package dmdc
 
 import (
+	"context"
 	"fmt"
+	"strings"
 
 	"dmdc/internal/config"
 	"dmdc/internal/core"
@@ -82,26 +89,68 @@ const (
 	PolicyValueSVW
 )
 
+// policyNames pairs each PolicyKind with its canonical name; String and
+// ParsePolicy are both driven by this table, which is what guarantees the
+// round trip ParsePolicy(k.String()) == k for every declared policy.
+var policyNames = [...]string{
+	PolicyBaseline:   "baseline",
+	PolicyYLA:        "yla",
+	PolicyDMDC:       "dmdc",
+	PolicyDMDCLocal:  "dmdc-local",
+	PolicyAgeTable:   "agetable",
+	PolicyValueBased: "value-based",
+	PolicyValueSVW:   "value-svw",
+}
+
+// policyAliases maps accepted alternate spellings (the historic dmdcsim
+// flag values) onto policies; canonical names are in policyNames.
+var policyAliases = map[string]PolicyKind{
+	"cam":   PolicyBaseline,
+	"value": PolicyValueBased,
+}
+
+// ParsePolicy maps a policy name to its PolicyKind. It accepts the
+// canonical names produced by PolicyKind.String (round-tripping every
+// declared policy) plus the historic aliases "cam" (baseline) and "value"
+// (value-based). Unknown names error with the valid set.
+func ParsePolicy(s string) (PolicyKind, error) {
+	for k, name := range policyNames {
+		if s == name {
+			return PolicyKind(k), nil
+		}
+	}
+	if k, ok := policyAliases[s]; ok {
+		return k, nil
+	}
+	return 0, fmt.Errorf("dmdc: unknown policy %q (valid: %s)",
+		s, strings.Join(policyNames[:], ", "))
+}
+
+// MarshalText encodes the policy as its canonical name, making PolicyKind
+// usable directly in JSON wire schemas (see Request).
+func (p PolicyKind) MarshalText() ([]byte, error) {
+	if int(p) < 0 || int(p) >= len(policyNames) {
+		return nil, fmt.Errorf("dmdc: cannot marshal unknown policy %d", int(p))
+	}
+	return []byte(policyNames[p]), nil
+}
+
+// UnmarshalText decodes a policy name via ParsePolicy.
+func (p *PolicyKind) UnmarshalText(b []byte) error {
+	k, err := ParsePolicy(string(b))
+	if err != nil {
+		return err
+	}
+	*p = k
+	return nil
+}
+
 // String names the policy.
 func (p PolicyKind) String() string {
-	switch p {
-	case PolicyBaseline:
-		return "baseline"
-	case PolicyYLA:
-		return "yla"
-	case PolicyDMDC:
-		return "dmdc"
-	case PolicyDMDCLocal:
-		return "dmdc-local"
-	case PolicyAgeTable:
-		return "agetable"
-	case PolicyValueBased:
-		return "value-based"
-	case PolicyValueSVW:
-		return "value-svw"
-	default:
-		return fmt.Sprintf("policy(%d)", int(p))
+	if int(p) >= 0 && int(p) < len(policyNames) {
+		return policyNames[p]
 	}
+	return fmt.Sprintf("policy(%d)", int(p))
 }
 
 // SimOption forwards core options (e.g. WithInvalidations).
@@ -170,62 +219,147 @@ func NewTelemetrySampler(cfg TelemetryConfig) *TelemetrySampler { return telemet
 // observer-effect suite) — and costs a disabled run one nil test per cycle.
 func WithTelemetry(t *TelemetrySampler) SimOption { return core.WithTelemetry(t) }
 
-// newPolicy builds the load-queue policy for one simulation.
+// newPolicy builds the load-queue policy for one simulation, through the
+// same canonical name→factory table the experiment harness and the dmdcd
+// server use (experiments.PolicyFactoryByName), so every entry point
+// constructs a named policy identically.
 func newPolicy(m Machine, kind PolicyKind, em *energy.Model) (lsq.Policy, error) {
-	switch kind {
-	case PolicyBaseline:
-		return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize}, em)
-	case PolicyYLA:
-		return lsq.NewCAM(lsq.CAMConfig{LQSize: m.LQSize, Filter: lsq.FilterYLA, YLARegs: 8}, em)
-	case PolicyDMDC:
-		return lsq.NewDMDC(lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize), em)
-	case PolicyDMDCLocal:
-		cfg := lsq.DefaultDMDCConfig(m.CheckTable, m.ROBSize)
-		cfg.Local = true
-		return lsq.NewDMDC(cfg, em)
-	case PolicyAgeTable:
-		return lsq.NewAgeTable(lsq.AgeTableConfig{TableSize: m.CheckTable, LQSize: m.ROBSize}, em)
-	case PolicyValueBased:
-		return lsq.NewValueBased(lsq.ValueBasedConfig{LoadCap: m.ROBSize}, em)
-	case PolicyValueSVW:
-		return lsq.NewValueBased(lsq.ValueBasedConfig{SVW: true, SVWSize: m.CheckTable, LoadCap: m.ROBSize}, em)
-	default:
+	f, err := experiments.PolicyFactoryByName(kind.String())
+	if err != nil {
 		return nil, fmt.Errorf("dmdc: unknown policy %v", kind)
 	}
+	return f(m, em)
+}
+
+// Request describes one simulation: which benchmark runs on which machine
+// under which load-queue policy, for how long, with which verification and
+// injection settings. It is the single entry-point contract — Run executes
+// it locally, and its JSON encoding (Policy marshals as its canonical
+// name) is the wire form a dmdcd simulation server accepts — so a request
+// serialized, shipped, and executed remotely is the same request, not a
+// translation of one.
+//
+// The zero value of every optional field means "off"; a zero Machine
+// defaults to Config2 and zero Insts to 1,000,000, so the minimal request
+// is just a Benchmark (and usually a Policy).
+type Request struct {
+	// Machine is the processor configuration; the zero value means
+	// Config2, the paper's primary machine.
+	Machine Machine `json:"machine"`
+	// Benchmark names the workload (see Benchmarks). Required.
+	Benchmark string `json:"benchmark"`
+	// Policy selects the load-queue management scheme (zero value:
+	// PolicyBaseline).
+	Policy PolicyKind `json:"policy"`
+	// Insts is the committed-instruction budget; 0 means 1,000,000.
+	Insts uint64 `json:"insts"`
+	// Verify attaches the lockstep architectural oracle: every commit is
+	// checked against an independent in-order model and the run fails with
+	// a *SoundnessError at the first divergence.
+	Verify bool `json:"verify,omitempty"`
+	// Invalidations injects external invalidations at this rate per 1000
+	// cycles (the paper's Table 6 methodology); 0 disables.
+	Invalidations float64 `json:"invalidations,omitempty"`
+	// SQFilter enables the Section 3 store-side age filter.
+	SQFilter bool `json:"sq_filter,omitempty"`
+	// Faults describes a deterministic fault-injection campaign (zero
+	// value: no faults; see ParseFaultSpec for the string syntax).
+	Faults FaultSpec `json:"faults"`
+	// WatchdogCycles overrides the forward-progress budget (0 keeps the
+	// core default).
+	WatchdogCycles uint64 `json:"watchdog_cycles,omitempty"`
+	// InvariantEvery sweeps the pipeline's structural invariants every
+	// this many cycles (0 disables the periodic sweep).
+	InvariantEvery uint64 `json:"invariant_every,omitempty"`
+	// Options carries additional core options — telemetry samplers,
+	// pipeline traces, monitors — that only make sense in-process; it is
+	// not part of the wire form.
+	Options []SimOption `json:"-"`
+}
+
+// normalized fills the documented defaults.
+func (r Request) normalized() (Request, error) {
+	if r.Machine.Name == "" {
+		r.Machine = Config2()
+	}
+	if r.Insts == 0 {
+		r.Insts = 1_000_000
+	}
+	if r.Benchmark == "" {
+		return r, fmt.Errorf("dmdc: request has no benchmark (valid: %s)",
+			strings.Join(Benchmarks(), ", "))
+	}
+	return r, nil
+}
+
+// Run executes one simulation Request and returns timing, energy, and
+// statistics. The context is checked on the periodic soundness cadence: a
+// mid-run cancellation stops the simulation promptly and returns ctx.Err()
+// (never a watchdog or soundness error). Run is the single entry point —
+// Simulate and SimulateVerified are thin wrappers over it, and the dmdcd
+// service executes the same Request shape remotely.
+func Run(ctx context.Context, req Request) (*Result, error) {
+	req, err := req.normalized()
+	if err != nil {
+		return nil, err
+	}
+	prof, err := trace.ByName(req.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	em := energy.NewModel(req.Machine.CoreSize())
+	pol, err := newPolicy(req.Machine, req.Policy, em)
+	if err != nil {
+		return nil, err
+	}
+	opts := append([]SimOption{}, req.Options...)
+	if req.Invalidations > 0 {
+		opts = append(opts, core.WithInvalidations(req.Invalidations))
+	}
+	if req.SQFilter {
+		opts = append(opts, core.WithSQFilter())
+	}
+	if !req.Faults.Zero() {
+		opts = append(opts, core.WithFaults(req.Faults))
+	}
+	if req.WatchdogCycles > 0 {
+		opts = append(opts, core.WithWatchdog(req.WatchdogCycles))
+	}
+	if req.InvariantEvery > 0 {
+		opts = append(opts, core.WithInvariantChecking(req.InvariantEvery))
+	}
+	if req.Verify {
+		opts = append(opts, core.WithOracle(core.FromGenerator(trace.NewGenerator(prof))))
+	}
+	sim, err := core.New(req.Machine, prof, pol, em, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunContext(ctx, req.Insts)
 }
 
 // Simulate runs one benchmark under one policy for the given number of
 // committed instructions and returns timing, energy, and statistics.
+//
+// Deprecated: use Run with a Request — it adds context cancellation and
+// names every parameter. Simulate(m, b, k, n, opts...) is exactly
+// Run(context.Background(), Request{Machine: m, Benchmark: b, Policy: k,
+// Insts: n, Options: opts}).
 func Simulate(m Machine, benchmark string, kind PolicyKind, insts uint64, opts ...SimOption) (*Result, error) {
-	return simulate(m, benchmark, kind, insts, false, opts)
+	return Run(context.Background(), Request{
+		Machine: m, Benchmark: benchmark, Policy: kind, Insts: insts, Options: opts,
+	})
 }
 
 // SimulateVerified is Simulate with the lockstep architectural oracle
 // attached: every commit is checked against an independent in-order model
 // and the run fails with a *SoundnessError at the first divergence.
+//
+// Deprecated: use Run with a Request whose Verify field is true.
 func SimulateVerified(m Machine, benchmark string, kind PolicyKind, insts uint64, opts ...SimOption) (*Result, error) {
-	return simulate(m, benchmark, kind, insts, true, opts)
-}
-
-func simulate(m Machine, benchmark string, kind PolicyKind, insts uint64, verify bool, opts []SimOption) (*Result, error) {
-	prof, err := trace.ByName(benchmark)
-	if err != nil {
-		return nil, err
-	}
-	em := energy.NewModel(m.CoreSize())
-	pol, err := newPolicy(m, kind, em)
-	if err != nil {
-		return nil, err
-	}
-	if verify {
-		opts = append(opts[:len(opts):len(opts)],
-			core.WithOracle(core.FromGenerator(trace.NewGenerator(prof))))
-	}
-	sim, err := core.New(m, prof, pol, em, opts...)
-	if err != nil {
-		return nil, err
-	}
-	return sim.Run(insts)
+	return Run(context.Background(), Request{
+		Machine: m, Benchmark: benchmark, Policy: kind, Insts: insts, Verify: true, Options: opts,
+	})
 }
 
 // NewSuite builds the experiment suite that regenerates the paper's

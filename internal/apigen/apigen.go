@@ -1,0 +1,127 @@
+// Package apigen renders a Go package's exported API surface as stable,
+// diffable text — the input to the repo's API-compatibility gate. The
+// committed golden (api.txt at the repo root) is the contract: any change
+// to an exported type, function, method, constant, or variable shows up
+// as a text diff that has to be reviewed and re-committed deliberately.
+//
+// The renderer is built on the standard library alone (go/parser +
+// go/doc), so the gate runs offline — no downloaded tools.
+package apigen
+
+import (
+	"fmt"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"strings"
+)
+
+// Render parses the package in dir and returns its exported declarations
+// as canonical text: one block per declaration, alphabetized the way
+// go/doc sorts them, comments and function bodies stripped. Test files
+// are excluded.
+func Render(dir string) (string, error) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, dir, func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		return "", err
+	}
+	var pkg *ast.Package
+	for name, p := range pkgs {
+		if !strings.HasSuffix(name, "_test") {
+			pkg = p
+			break
+		}
+	}
+	if pkg == nil {
+		return "", fmt.Errorf("apigen: no non-test package in %s", dir)
+	}
+	ast.PackageExports(pkg)
+	d := doc.New(pkg, pkg.Name, 0)
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "package %s\n", d.Name)
+	render := func(node any) error {
+		b.WriteString("\n")
+		cfg := printer.Config{Mode: printer.UseSpaces, Tabwidth: 4}
+		if err := cfg.Fprint(&b, fset, node); err != nil {
+			return err
+		}
+		b.WriteString("\n")
+		return nil
+	}
+	renderFunc := func(f *doc.Func) error {
+		f.Decl.Doc = nil
+		f.Decl.Body = nil
+		return render(f.Decl)
+	}
+	renderValues := func(vs []*doc.Value) error {
+		for _, v := range vs {
+			v.Decl.Doc = nil
+			stripComments(v.Decl)
+			if err := render(v.Decl); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := renderValues(d.Consts); err != nil {
+		return "", err
+	}
+	if err := renderValues(d.Vars); err != nil {
+		return "", err
+	}
+	for _, t := range d.Types {
+		t.Decl.Doc = nil
+		stripComments(t.Decl)
+		if err := render(t.Decl); err != nil {
+			return "", err
+		}
+		if err := renderValues(t.Consts); err != nil {
+			return "", err
+		}
+		if err := renderValues(t.Vars); err != nil {
+			return "", err
+		}
+		for _, f := range t.Funcs {
+			if err := renderFunc(f); err != nil {
+				return "", err
+			}
+		}
+		for _, m := range t.Methods {
+			if err := renderFunc(m); err != nil {
+				return "", err
+			}
+		}
+	}
+	for _, f := range d.Funcs {
+		if err := renderFunc(f); err != nil {
+			return "", err
+		}
+	}
+	return b.String(), nil
+}
+
+// stripComments clears doc and line comments inside a declaration so the
+// rendered surface changes only when the declarations themselves do.
+func stripComments(n ast.Node) {
+	ast.Inspect(n, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GenDecl:
+			x.Doc = nil
+		case *ast.ValueSpec:
+			x.Doc, x.Comment = nil, nil
+		case *ast.TypeSpec:
+			x.Doc, x.Comment = nil, nil
+		case *ast.Field:
+			x.Doc, x.Comment = nil, nil
+		}
+		return true
+	})
+}

@@ -13,6 +13,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -485,6 +486,13 @@ func (r *Result) String() string {
 		r.Benchmark, r.Config, r.Policy, r.Insts, r.Cycles, r.IPC(), r.Energy.Total())
 }
 
+// ctxCheckMask gates how often RunContext polls its context: every 4096
+// cycles, the same order of cadence as the invariant sweeps. The hot loop
+// pays one mask-and-test per cycle for cancellation; the channel poll
+// itself runs only on the cadence (and only when the context can actually
+// be canceled).
+const ctxCheckMask = 1<<12 - 1
+
 // Run simulates until nInsts correct-path instructions have committed and
 // returns the collected results. It fails with a *soundness.SoundnessError
 // when a soundness check (the oracle, the wrong-path-commit guard, a
@@ -493,11 +501,29 @@ func (r *Result) String() string {
 // budget (default DefaultWatchdogBudget; see WithWatchdog) — the error
 // carries a full pipeline-state dump instead of crashing the process.
 func (s *Sim) Run(nInsts uint64) (*Result, error) {
+	return s.RunContext(context.Background(), nInsts)
+}
+
+// RunContext is Run with cancellation: the context is polled on the
+// periodic soundness cadence (every few thousand cycles, keeping the
+// per-cycle loop clean), and a canceled or expired context stops the run
+// with ctx.Err() — never a watchdog or soundness error, since an
+// interrupted pipeline is not an unsound one. The Sim is left mid-cycle
+// and must not be reused after a cancellation.
+func (s *Sim) RunContext(ctx context.Context, nInsts uint64) (*Result, error) {
+	done := ctx.Done() // nil for Background/TODO: cancellation impossible
 	target := s.committed + nInsts
 	for s.committed < target {
 		s.step()
 		if s.simErr != nil {
 			return nil, s.simErr
+		}
+		if done != nil && s.cycle&ctxCheckMask == 0 {
+			select {
+			case <-done:
+				return nil, ctx.Err()
+			default:
+			}
 		}
 		if s.invariantEvery > 0 && s.cycle%s.invariantEvery == 0 {
 			if err := s.CheckInvariants(); err != nil {

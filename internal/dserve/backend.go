@@ -1,0 +1,174 @@
+package dserve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"dmdc/internal/core"
+	"dmdc/internal/experiments"
+	"dmdc/internal/resultcache"
+)
+
+// Local executes jobs in-process. It is the zero-config backend: a
+// Dispatcher over a single Local behaves exactly like the Suite's own
+// worker pool, so code written against Backend needs no server to run.
+type Local struct {
+	// Cache, when non-nil, answers non-soundness jobs from the persistent
+	// result cache and stores computed results back.
+	Cache *resultcache.Cache
+}
+
+// Name identifies the backend.
+func (l *Local) Name() string { return "local" }
+
+// Run executes one job in this process.
+func (l *Local) Run(ctx context.Context, spec experiments.JobSpec) (*core.Result, error) {
+	cacheable := l.Cache != nil && !spec.Soundness
+	if cacheable {
+		if res, ok := l.Cache.Get(spec.CacheKey()); ok {
+			return res, nil
+		}
+	}
+	res, err := experiments.ExecuteJob(ctx, spec)
+	if err != nil {
+		// Only a cancellation is environmental; everything else in-process
+		// is deterministic and would fail identically on retry.
+		return nil, &BackendError{Backend: l.Name(), Retryable: ctx.Err() != nil, Err: err}
+	}
+	if cacheable {
+		l.Cache.Put(spec.CacheKey(), res)
+	}
+	return res, nil
+}
+
+// Remote executes jobs on a dmdcd server over its HTTP/JSON API: submit a
+// one-job batch, long-poll the job's status, fetch the result. Network
+// failures, 5xx responses, and backpressure rejections come back as
+// retryable BackendErrors so the Dispatcher moves the job elsewhere.
+type Remote struct {
+	base   string
+	client *http.Client
+	poll   time.Duration
+}
+
+// NewRemote builds a client for the dmdcd server at baseURL (e.g.
+// "http://host:8321"). client nil means http.DefaultClient.
+func NewRemote(baseURL string, client *http.Client) *Remote {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	return &Remote{
+		base:   strings.TrimRight(baseURL, "/"),
+		client: client,
+		poll:   10 * time.Second,
+	}
+}
+
+// Name identifies the backend by its base URL.
+func (r *Remote) Name() string { return r.base }
+
+// retryableStatus reports whether an HTTP status marks an environmental
+// failure: server errors and backpressure, not client mistakes.
+func retryableStatus(code int) bool {
+	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+// errBody extracts the {"error": ...} payload from a non-2xx response.
+func errBody(resp *http.Response) error {
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	}
+	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+// do issues one request and decodes a 2xx JSON body into out. Non-2xx
+// responses and transport errors become BackendErrors.
+func (r *Remote) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		b, err := json.Marshal(in)
+		if err != nil {
+			return &BackendError{Backend: r.Name(), Err: fmt.Errorf("encode request: %w", err)}
+		}
+		body = bytes.NewReader(b)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, r.base+path, body)
+	if err != nil {
+		return &BackendError{Backend: r.Name(), Err: err}
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := r.client.Do(req)
+	if err != nil {
+		// Transport failure: connection refused, reset, timeout — the
+		// server may be gone, but another backend can run the job.
+		return &BackendError{Backend: r.Name(), Retryable: true, Err: err}
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		return &BackendError{Backend: r.Name(), Retryable: retryableStatus(resp.StatusCode), Err: errBody(resp)}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return &BackendError{Backend: r.Name(), Retryable: true, Err: fmt.Errorf("decode response: %w", err)}
+		}
+	}
+	return nil
+}
+
+// Run submits the job and waits for its terminal state.
+func (r *Remote) Run(ctx context.Context, spec experiments.JobSpec) (*core.Result, error) {
+	var sub ListResponse
+	if err := r.do(ctx, http.MethodPost, "/v1/jobs", SubmitRequest{Jobs: []experiments.JobSpec{spec}}, &sub); err != nil {
+		return nil, err
+	}
+	if len(sub.Jobs) != 1 {
+		return nil, &BackendError{Backend: r.Name(), Retryable: true,
+			Err: fmt.Errorf("submit returned %d statuses for 1 job", len(sub.Jobs))}
+	}
+	js := sub.Jobs[0]
+	if js.Status == StatusRejected {
+		// Backpressure: the server admitted nothing. Retryable — backoff
+		// or another backend will absorb the job.
+		return nil, &BackendError{Backend: r.Name(), Retryable: true,
+			Err: fmt.Errorf("rejected: %s", js.Error)}
+	}
+	for !js.Status.Terminal() {
+		if err := ctx.Err(); err != nil {
+			return nil, &BackendError{Backend: r.Name(), Retryable: true, Err: err}
+		}
+		if err := r.do(ctx, http.MethodGet,
+			fmt.Sprintf("/v1/jobs/%s?wait=%s", js.ID, r.poll), nil, &js); err != nil {
+			return nil, err
+		}
+	}
+	if js.Status == StatusFailed {
+		return nil, &BackendError{Backend: r.Name(), Retryable: js.Retryable,
+			Err: fmt.Errorf("job failed: %s", js.Error)}
+	}
+	var res core.Result
+	if err := r.do(ctx, http.MethodGet, "/v1/jobs/"+js.ID+"/result", nil, &res); err != nil {
+		return nil, err
+	}
+	return &res, nil
+}
+
+// Health fetches the server's health snapshot.
+func (r *Remote) Health(ctx context.Context) (*Health, error) {
+	var h Health
+	if err := r.do(ctx, http.MethodGet, "/v1/healthz", nil, &h); err != nil {
+		return nil, err
+	}
+	return &h, nil
+}

@@ -1,0 +1,129 @@
+// Package dserve turns the experiment harness into a sharded simulation
+// service. It has two halves:
+//
+//   - Server exposes an HTTP/JSON job API over the existing execution
+//     machinery (experiments.ExecuteJob, the persistent result cache, the
+//     telemetry registry): clients submit batches of experiments.JobSpec,
+//     poll or long-poll per-job status, and fetch results. Jobs are
+//     content-addressed by their cache key, so resubmitting an identical
+//     spec is idempotent — it lands on the same job (in-flight dedupe) or
+//     is answered straight from the cache.
+//
+//   - Dispatcher shards a stream of jobs across one or more Backends
+//     (remote dmdcd servers via Remote, or the in-process Local so the
+//     zero-config path still works), with bounded per-backend in-flight
+//     windows for backpressure, per-job retry with exponential backoff,
+//     hedged re-dispatch of stragglers, and cache-keyed resume so a killed
+//     worker or dropped connection never loses or duplicates a result.
+//
+// Simulation is deterministic, which is what makes the whole design safe:
+// any backend executing a spec produces the byte-identical Result, so
+// retries, hedges, and cache hits are interchangeable and results can be
+// deduplicated by content address alone.
+//
+// Wire protocol (all bodies JSON):
+//
+//	POST /v1/jobs            {"jobs":[JobSpec,...]} → {"jobs":[JobStatus,...]}
+//	GET  /v1/jobs            → {"jobs":[JobStatus,...]} (no results)
+//	GET  /v1/jobs/{id}       → JobStatus; ?wait=10s long-polls for a terminal state
+//	GET  /v1/jobs/{id}/result → the core.Result JSON (404 unknown, 409 not done)
+//	GET  /v1/telemetry       → telemetry registry index; ?job={id} one job's series
+//	GET  /v1/healthz         → Health
+package dserve
+
+import (
+	"errors"
+	"fmt"
+
+	"dmdc/internal/experiments"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle states. Rejected appears only in submit responses: the
+// server's queue was full and the job was not admitted (backpressure) —
+// the client should back off and resubmit.
+const (
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusRejected Status = "rejected"
+)
+
+// Terminal reports whether a job in this state will never change again.
+func (s Status) Terminal() bool { return s == StatusDone || s == StatusFailed }
+
+// SubmitRequest is the body of POST /v1/jobs.
+type SubmitRequest struct {
+	Jobs []experiments.JobSpec `json:"jobs"`
+}
+
+// JobStatus is the wire form of one job's state.
+type JobStatus struct {
+	// ID is the job's content address (its result-cache key): identical
+	// specs share an ID, which is what makes submission idempotent.
+	ID     string `json:"id"`
+	Status Status `json:"status"`
+	// Cached marks a job answered from the persistent result cache
+	// without simulating.
+	Cached bool `json:"cached,omitempty"`
+	// Error holds the failure for StatusFailed (and the reason for
+	// StatusRejected).
+	Error string `json:"error,omitempty"`
+	// Retryable hints whether a failure was environmental (shutdown,
+	// cancellation — another backend may succeed) rather than
+	// deterministic (a bad spec or a soundness divergence, which every
+	// backend would reproduce).
+	Retryable bool `json:"retryable,omitempty"`
+}
+
+// ListResponse is the body of GET /v1/jobs (and the submit response).
+type ListResponse struct {
+	Jobs []JobStatus `json:"jobs"`
+}
+
+// Health is the body of GET /v1/healthz.
+type Health struct {
+	OK      bool `json:"ok"`
+	Workers int  `json:"workers"`
+	// QueueCap is the admission queue's capacity; Queued its depth.
+	QueueCap int `json:"queue_cap"`
+	Queued   int `json:"queued"`
+	Running  int `json:"running"`
+	Done     int `json:"done"`
+	Failed   int `json:"failed"`
+	// Executed counts simulations actually run (cache hits excluded).
+	Executed  uint64 `json:"executed"`
+	CacheHits uint64 `json:"cache_hits"`
+	Rejected  uint64 `json:"rejected"`
+}
+
+// BackendError labels a failure with the backend it came from and whether
+// the job is worth retrying elsewhere.
+type BackendError struct {
+	Backend   string
+	Retryable bool
+	Err       error
+}
+
+// Error renders the labeled failure.
+func (e *BackendError) Error() string {
+	kind := "permanent"
+	if e.Retryable {
+		kind = "retryable"
+	}
+	return fmt.Sprintf("dserve: backend %s: %s: %v", e.Backend, kind, e.Err)
+}
+
+// Unwrap exposes the underlying cause.
+func (e *BackendError) Unwrap() error { return e.Err }
+
+// Retryable reports whether err is worth retrying on another backend (or
+// later on the same one). Unlabeled errors are treated as permanent:
+// deterministic simulation means an execution failure reproduces anywhere.
+func Retryable(err error) bool {
+	var be *BackendError
+	return errors.As(err, &be) && be.Retryable
+}

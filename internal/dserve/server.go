@@ -1,0 +1,401 @@
+package dserve
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dmdc/internal/core"
+	"dmdc/internal/experiments"
+	"dmdc/internal/resultcache"
+	"dmdc/internal/telemetry"
+)
+
+// ServerConfig sizes a simulation server.
+type ServerConfig struct {
+	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
+	Workers int
+	// QueueDepth bounds admitted-but-unstarted jobs; a full queue rejects
+	// new submissions (backpressure). 0 means 4×Workers (min 16).
+	QueueDepth int
+	// Cache, when non-nil, answers non-soundness jobs from the persistent
+	// result cache and writes every computed result back, so any process
+	// sharing the directory resumes instead of recomputing.
+	Cache *resultcache.Cache
+	// Telemetry, when non-nil, attaches a per-job sampler to every
+	// simulated job and serves the registry at /v1/telemetry, keyed by job
+	// ID. Zero fields take the telemetry defaults.
+	Telemetry *telemetry.Config
+}
+
+// jobState is one job's lifecycle; guarded by Server.mu except for the
+// immutable id/spec and the done channel (closed exactly once by the
+// executing worker, after the terminal state is published).
+type jobState struct {
+	id   string
+	spec experiments.JobSpec
+
+	status    Status
+	cached    bool
+	errMsg    string
+	retryable bool
+	result    *core.Result
+	done      chan struct{}
+}
+
+// Server executes simulation jobs behind the HTTP/JSON API described in
+// the package comment. Create with NewServer, serve via ServeHTTP (it is
+// an http.Handler), stop with Close.
+type Server struct {
+	workers  int
+	queueCap int
+	cache    *resultcache.Cache
+	telCfg   *telemetry.Config
+	reg      *telemetry.Registry
+
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+	mux    *http.ServeMux
+
+	mu     sync.Mutex
+	closed bool
+	jobs   map[string]*jobState
+	queue  chan *jobState
+
+	executed  atomic.Uint64
+	cacheHits atomic.Uint64
+	rejected  atomic.Uint64
+}
+
+// NewServer builds a server and starts its worker pool.
+func NewServer(cfg ServerConfig) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 4 * cfg.Workers
+		if cfg.QueueDepth < 16 {
+			cfg.QueueDepth = 16
+		}
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Server{
+		workers:  cfg.Workers,
+		queueCap: cfg.QueueDepth,
+		cache:    cfg.Cache,
+		telCfg:   cfg.Telemetry,
+		ctx:      ctx,
+		cancel:   cancel,
+		jobs:     make(map[string]*jobState),
+		queue:    make(chan *jobState, cfg.QueueDepth),
+	}
+	if s.telCfg != nil {
+		s.reg = telemetry.NewRegistry()
+	}
+	s.routes()
+	for i := 0; i < s.workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Close stops accepting jobs, cancels in-flight simulations (they fail
+// with a retryable shutdown error), and waits for the workers to exit.
+func (s *Server) Close() {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return
+	}
+	s.closed = true
+	s.cancel()
+	close(s.queue)
+	s.mu.Unlock()
+	s.wg.Wait()
+}
+
+// worker drains the queue, executing one job at a time.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for st := range s.queue {
+		s.execute(st)
+	}
+}
+
+// execute runs one admitted job to its terminal state.
+func (s *Server) execute(st *jobState) {
+	if err := s.ctx.Err(); err != nil {
+		s.finish(st, nil, false, fmt.Sprintf("server shutting down: %v", err), true)
+		return
+	}
+	s.mu.Lock()
+	st.status = StatusRunning
+	s.mu.Unlock()
+
+	var sampler *telemetry.Sampler
+	if s.telCfg != nil {
+		// Registered before the run starts so /v1/telemetry?job=ID watches
+		// the series fill in while the job executes.
+		sampler = telemetry.New(*s.telCfg)
+		s.reg.Register(st.id, sampler)
+	}
+	res, err := experiments.ExecuteJobWithSampler(s.ctx, st.spec, sampler)
+	if err != nil {
+		// A cancellation is environmental — another backend can still run
+		// the job. Anything else is deterministic: the same spec would
+		// fail the same way anywhere.
+		retryable := s.ctx.Err() != nil
+		s.finish(st, nil, false, err.Error(), retryable)
+		return
+	}
+	s.executed.Add(1)
+	if s.cache != nil && !st.spec.Soundness {
+		// Best-effort: a failed write only costs a recompute next time.
+		s.cache.Put(st.id, res)
+	}
+	s.finish(st, res, false, "", false)
+}
+
+// finish publishes a job's terminal state and wakes every waiter.
+func (s *Server) finish(st *jobState, res *core.Result, cached bool, errMsg string, retryable bool) {
+	s.mu.Lock()
+	st.result = res
+	st.cached = cached
+	st.errMsg = errMsg
+	st.retryable = retryable
+	if errMsg == "" {
+		st.status = StatusDone
+	} else {
+		st.status = StatusFailed
+	}
+	s.mu.Unlock()
+	close(st.done)
+}
+
+// admit registers one submitted spec and returns its wire status:
+// an existing job (idempotent resubmit), a cache answer, a queued
+// admission, or a backpressure rejection.
+func (s *Server) admit(spec experiments.JobSpec) JobStatus {
+	if err := spec.Validate(); err != nil {
+		// Invalid specs are rejected before they get an ID of their own:
+		// the error is deterministic and the client must fix the spec.
+		return JobStatus{ID: spec.CacheKey(), Status: StatusFailed, Error: err.Error()}
+	}
+	id := spec.CacheKey()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if st, ok := s.jobs[id]; ok {
+		return s.statusLocked(st)
+	}
+	if s.closed {
+		s.rejected.Add(1)
+		return JobStatus{ID: id, Status: StatusRejected, Error: "server closed"}
+	}
+	st := &jobState{id: id, spec: spec, status: StatusQueued, done: make(chan struct{})}
+	if s.cache != nil && !spec.Soundness {
+		if hit, ok := s.cache.Get(id); ok {
+			s.cacheHits.Add(1)
+			st.status = StatusDone
+			st.result = hit
+			st.cached = true
+			close(st.done)
+			s.jobs[id] = st
+			return s.statusLocked(st)
+		}
+	}
+	select {
+	case s.queue <- st:
+		s.jobs[id] = st
+		return s.statusLocked(st)
+	default:
+		s.rejected.Add(1)
+		return JobStatus{ID: id, Status: StatusRejected, Error: "queue full"}
+	}
+}
+
+// statusLocked snapshots a job's wire status; callers hold mu.
+func (s *Server) statusLocked(st *jobState) JobStatus {
+	return JobStatus{
+		ID:        st.id,
+		Status:    st.status,
+		Cached:    st.cached,
+		Error:     st.errMsg,
+		Retryable: st.retryable,
+	}
+}
+
+// lookup returns a job by id.
+func (s *Server) lookup(id string) (*jobState, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st, ok := s.jobs[id]
+	return st, ok
+}
+
+// routes wires the handler table.
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
+	s.mux.HandleFunc("GET /v1/telemetry", s.handleTelemetry)
+}
+
+// ServeHTTP dispatches to the /v1 API.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.ServeHTTP(w, r) }
+
+// maxSubmitBytes bounds a submit body; a full-matrix batch of specs is a
+// few hundred KB, so 32 MiB is generous without being unbounded.
+const maxSubmitBytes = 32 << 20
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req SubmitRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
+	if err := dec.Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("decode submit: %w", err))
+		return
+	}
+	if len(req.Jobs) == 0 {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("submit has no jobs"))
+		return
+	}
+	resp := ListResponse{Jobs: make([]JobStatus, 0, len(req.Jobs))}
+	rejected := 0
+	for _, spec := range req.Jobs {
+		js := s.admit(spec)
+		if js.Status == StatusRejected {
+			rejected++
+		}
+		resp.Jobs = append(resp.Jobs, js)
+	}
+	code := http.StatusOK
+	if rejected == len(req.Jobs) {
+		// Nothing was admitted: surface the backpressure at the HTTP layer
+		// too, so plain clients back off without parsing per-job states.
+		code = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "1")
+	}
+	writeJSON(w, code, resp)
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	resp := ListResponse{Jobs: make([]JobStatus, 0, len(s.jobs))}
+	for _, st := range s.jobs {
+		resp.Jobs = append(resp.Jobs, s.statusLocked(st))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// maxWait caps ?wait= long polls so a dead client cannot pin a handler.
+const maxWait = time.Minute
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		wait, err := time.ParseDuration(waitStr)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, fmt.Errorf("bad wait: %w", err))
+			return
+		}
+		if wait > maxWait {
+			wait = maxWait
+		}
+		// Long poll: return early on a terminal state, else at the
+		// deadline with whatever state the job is in.
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		select {
+		case <-st.done:
+		case <-t.C:
+		case <-r.Context().Done():
+		}
+	}
+	s.mu.Lock()
+	js := s.statusLocked(st)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, js)
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	st, ok := s.lookup(r.PathValue("id"))
+	if !ok {
+		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+		return
+	}
+	s.mu.Lock()
+	status, res, errMsg := st.status, st.result, st.errMsg
+	s.mu.Unlock()
+	switch status {
+	case StatusDone:
+		writeJSON(w, http.StatusOK, res)
+	case StatusFailed:
+		httpError(w, http.StatusInternalServerError, fmt.Errorf("job failed: %s", errMsg))
+	default:
+		httpError(w, http.StatusConflict, fmt.Errorf("job %s", status))
+	}
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	h := Health{
+		OK:       !s.closed,
+		Workers:  s.workers,
+		QueueCap: s.queueCap,
+		Queued:   len(s.queue),
+	}
+	for _, st := range s.jobs {
+		switch st.status {
+		case StatusRunning:
+			h.Running++
+		case StatusDone:
+			h.Done++
+		case StatusFailed:
+			h.Failed++
+		}
+	}
+	s.mu.Unlock()
+	h.Executed = s.executed.Load()
+	h.CacheHits = s.cacheHits.Load()
+	h.Rejected = s.rejected.Load()
+	writeJSON(w, http.StatusOK, h)
+}
+
+func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
+	if s.reg == nil {
+		httpError(w, http.StatusNotFound, fmt.Errorf("telemetry disabled (start the server with a telemetry config)"))
+		return
+	}
+	s.reg.ServeHTTP(w, r)
+}
+
+// Executed counts simulations actually run (cache hits excluded).
+func (s *Server) Executed() uint64 { return s.executed.Load() }
+
+// writeJSON renders v with the given status code.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+// httpError renders {"error": ...} with the given status code.
+func httpError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, map[string]string{"error": err.Error()})
+}

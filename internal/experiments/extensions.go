@@ -49,9 +49,9 @@ func DMDCYLAFactory(regs int) PolicyFactory {
 	}
 }
 
-// extensionSpec materializes the extension run specs (suite.specFor defers
-// here for unknown keys before panicking).
-func (s *Suite) extensionSpec(key string) (runSpec, bool) {
+// extensionSpec materializes the extension run specs (resolveSpec defers
+// here for unknown keys).
+func extensionSpec(key string) (runSpec, bool) {
 	c2 := config.Config2()
 	for _, n := range TableSweepSizes {
 		if key == keyTableSize(n) {

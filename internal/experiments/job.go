@@ -1,0 +1,271 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"strings"
+
+	"dmdc/internal/config"
+	"dmdc/internal/core"
+	"dmdc/internal/energy"
+	"dmdc/internal/resultcache"
+	"dmdc/internal/soundness"
+	"dmdc/internal/telemetry"
+	"dmdc/internal/trace"
+)
+
+// JobSpec is the wire form of one simulation cell: everything a backend
+// needs to reproduce the run, and nothing more. Exactly one of RunKey and
+// Policy names the load-queue management scheme:
+//
+//   - RunKey addresses a named experiment spec ("dmdc-global-config2",
+//     "monitored-baseline", "dmdc-table4096", ...). The key names code —
+//     the policy factory, monitor set, and injection options are
+//     reconstructed on the executing side by resolveSpec, and the machine
+//     configuration is pinned by the key itself.
+//   - Policy is a canonical policy name (see PolicyNames) applied to the
+//     Machine field — the form dmdc.Request lowers to.
+//
+// The struct is the JSON schema of the dmdcd job API; simulation is
+// deterministic, so a JobSpec fully determines its Result and the spec
+// doubles as cache-key material (see CacheKey).
+type JobSpec struct {
+	// Machine is the full machine configuration. For RunKey jobs it is
+	// informational (the key pins the machine); for Policy jobs it is the
+	// machine simulated.
+	Machine config.Machine `json:"machine"`
+	// RunKey names an experiment run spec; empty for Policy jobs.
+	RunKey string `json:"run_key,omitempty"`
+	// Policy is a canonical policy name; empty for RunKey jobs.
+	Policy string `json:"policy,omitempty"`
+	// Benchmark is the workload name.
+	Benchmark string `json:"benchmark"`
+	// Insts is the committed-instruction budget.
+	Insts uint64 `json:"insts"`
+	// Soundness attaches the lockstep architectural oracle. Soundness jobs
+	// must never be served from a result cache — a cached result would skip
+	// exactly the verification being asked for.
+	Soundness bool `json:"soundness,omitempty"`
+	// Faults is the canonical fault-campaign string
+	// (soundness.FaultSpec.String()), empty for clean runs.
+	Faults string `json:"faults,omitempty"`
+	// WatchdogCycles overrides the forward-progress budget (0 = default).
+	WatchdogCycles uint64 `json:"watchdog_cycles,omitempty"`
+}
+
+// Validate reports the first problem with the spec, or nil.
+func (j JobSpec) Validate() error {
+	if (j.RunKey == "") == (j.Policy == "") {
+		return fmt.Errorf("experiments: job needs exactly one of run_key and policy (have %q and %q)",
+			j.RunKey, j.Policy)
+	}
+	if j.RunKey != "" {
+		sp, ok := resolveSpec(j.RunKey)
+		if !ok {
+			return fmt.Errorf("experiments: unknown run key %q", j.RunKey)
+		}
+		if j.Machine.Name != "" && j.Machine.Name != sp.machine.Name {
+			return fmt.Errorf("experiments: run key %q pins machine %s, job says %s",
+				j.RunKey, sp.machine.Name, j.Machine.Name)
+		}
+	} else {
+		if _, err := PolicyFactoryByName(j.Policy); err != nil {
+			return err
+		}
+		if err := j.Machine.Validate(); err != nil {
+			return fmt.Errorf("experiments: job machine: %w", err)
+		}
+	}
+	if j.Benchmark == "" {
+		return fmt.Errorf("experiments: job has no benchmark")
+	}
+	if _, err := trace.ByName(j.Benchmark); err != nil {
+		return err
+	}
+	if j.Insts == 0 {
+		return fmt.Errorf("experiments: job has no instruction budget")
+	}
+	if j.Faults != "" {
+		if _, err := soundness.ParseFaultSpec(j.Faults); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// CacheKey returns the job's content address in the persistent result
+// cache — the same address Suite uses for in-process runs, so results
+// computed locally, remotely, or in a previous process are interchangeable.
+// It doubles as the job's idempotency key on the wire: resubmitting an
+// identical spec addresses the same job.
+func (j JobSpec) CacheKey() string {
+	runKey := j.RunKey
+	machine := j.Machine
+	if runKey == "" {
+		// Policy jobs get a reserved pseudo-key namespace; ":" cannot occur
+		// in experiment run keys, so the two spaces never collide.
+		runKey = "policy:" + j.Policy
+	} else if sp, ok := resolveSpec(runKey); ok {
+		machine = sp.machine
+	}
+	return resultcache.Key(resultcache.KeySpec{
+		Machine:   machine,
+		RunKey:    runKey,
+		Benchmark: j.Benchmark,
+		Insts:     j.Insts,
+		Faults:    j.Faults,
+	})
+}
+
+// Backend executes simulation jobs for a Suite: in process (the default),
+// or sharded across remote dmdcd servers (internal/dserve.Dispatcher).
+// Implementations must be safe for concurrent use — the matrix runner
+// calls Run from every worker.
+type Backend interface {
+	// Name identifies the backend in errors and logs.
+	Name() string
+	// Run executes one job to completion and returns its result. Results
+	// must be byte-identical to an in-process run of the same spec
+	// (deterministic simulation makes this a hard contract, not a hope).
+	Run(ctx context.Context, spec JobSpec) (*core.Result, error)
+}
+
+// PolicyNames lists the canonical policy names accepted by
+// PolicyFactoryByName, in declaration order. The names round-trip through
+// dmdc.PolicyKind.String / dmdc.ParsePolicy.
+func PolicyNames() []string {
+	return []string{"baseline", "yla", "dmdc", "dmdc-local", "agetable", "value-based", "value-svw"}
+}
+
+// PolicyFactoryByName maps a canonical policy name to its factory. This is
+// the single name→construction table: the dmdc facade, the CLIs, and the
+// dmdcd server all resolve policy names here.
+func PolicyFactoryByName(name string) (PolicyFactory, error) {
+	switch name {
+	case "baseline":
+		return BaselineFactory, nil
+	case "yla":
+		return YLAFactory, nil
+	case "dmdc":
+		return DMDCGlobalFactory, nil
+	case "dmdc-local":
+		return DMDCLocalFactory, nil
+	case "agetable":
+		return AgeTableFactory, nil
+	case "value-based":
+		return ValueBasedFactory, nil
+	case "value-svw":
+		return ValueSVWFactory, nil
+	}
+	return nil, fmt.Errorf("experiments: unknown policy %q (valid: %s)",
+		name, strings.Join(PolicyNames(), ", "))
+}
+
+// specForJob materializes the runSpec a JobSpec describes.
+func specForJob(j JobSpec) (runSpec, error) {
+	if j.RunKey != "" {
+		sp, ok := resolveSpec(j.RunKey)
+		if !ok {
+			return runSpec{}, fmt.Errorf("experiments: unknown run key %q", j.RunKey)
+		}
+		return sp, nil
+	}
+	f, err := PolicyFactoryByName(j.Policy)
+	if err != nil {
+		return runSpec{}, err
+	}
+	return runSpec{key: "policy:" + j.Policy, machine: j.Machine, factory: f}, nil
+}
+
+// execParams is everything outside the runSpec that shapes one cell.
+type execParams struct {
+	insts     uint64
+	soundness bool
+	faults    soundness.FaultSpec
+	watchdog  uint64
+	sampler   *telemetry.Sampler
+}
+
+// executeCell builds and runs one simulation. It is the single execution
+// path shared by the in-process matrix runner and ExecuteJob, so a job
+// shipped over the wire is constructed — option for option, in the same
+// order — exactly like a local run, which is what makes distributed
+// results byte-identical to local ones.
+func executeCell(ctx context.Context, sp runSpec, bench string, p execParams) (*core.Result, error) {
+	prof, err := trace.ByName(bench)
+	if err != nil {
+		return nil, err
+	}
+	em := energy.NewModel(sp.machine.CoreSize())
+	pol, err := sp.factory(sp.machine, em)
+	if err != nil {
+		return nil, err
+	}
+	opts := append([]core.Option{}, sp.extraOpts...)
+	if sp.invRate > 0 {
+		opts = append(opts, core.WithInvalidations(sp.invRate))
+	}
+	if sp.monitors != nil {
+		opts = append(opts, core.WithMonitors(sp.monitors()...))
+	}
+	if p.soundness {
+		opts = append(opts, core.WithOracle(core.FromGenerator(trace.NewGenerator(prof))))
+	}
+	if !p.faults.Zero() {
+		opts = append(opts, core.WithFaults(p.faults))
+	}
+	if p.watchdog > 0 {
+		opts = append(opts, core.WithWatchdog(p.watchdog))
+	}
+	if p.sampler != nil {
+		opts = append(opts, core.WithTelemetry(p.sampler))
+	}
+	sim, err := core.New(sp.machine, prof, pol, em, opts...)
+	if err != nil {
+		return nil, err
+	}
+	return sim.RunContext(ctx, p.insts)
+}
+
+// ExecuteJob runs one wire job to completion. It is the server-side
+// counterpart of Suite's in-process runner: the spec is validated,
+// materialized through the same resolveSpec/factory tables, and executed
+// through the same construction path, so the result is byte-identical to a
+// local run of the same cell. A panic anywhere inside the simulator is
+// returned as an error, never propagated — one bad job must not take down
+// a serving process.
+func ExecuteJob(ctx context.Context, j JobSpec) (*core.Result, error) {
+	return ExecuteJobWithSampler(ctx, j, nil)
+}
+
+// ExecuteJobWithSampler is ExecuteJob with a telemetry sampler attached to
+// the run (nil behaves like ExecuteJob). The dmdcd server registers the
+// sampler under the job's id so clients can watch per-job time series over
+// the wire while the job runs.
+func ExecuteJobWithSampler(ctx context.Context, j JobSpec, sampler *telemetry.Sampler) (r *core.Result, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			r, err = nil, fmt.Errorf("experiments: job panic: %v", p)
+		}
+	}()
+	if err := j.Validate(); err != nil {
+		return nil, err
+	}
+	sp, err := specForJob(j)
+	if err != nil {
+		return nil, err
+	}
+	var faults soundness.FaultSpec
+	if j.Faults != "" {
+		if faults, err = soundness.ParseFaultSpec(j.Faults); err != nil {
+			return nil, err
+		}
+	}
+	return executeCell(ctx, sp, j.Benchmark, execParams{
+		insts:     j.Insts,
+		soundness: j.Soundness,
+		faults:    faults,
+		watchdog:  j.WatchdogCycles,
+		sampler:   sampler,
+	})
+}

@@ -21,7 +21,7 @@ func AgeTableFactory(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 }
 
 // relatedWorkSpec resolves the age-table run key.
-func (s *Suite) relatedWorkSpec(key string) (runSpec, bool) {
+func relatedWorkSpec(key string) (runSpec, bool) {
 	if key == keyAgeTable {
 		return runSpec{key: key, machine: config.Config2(), factory: AgeTableFactory}, true
 	}

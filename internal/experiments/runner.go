@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -64,6 +65,20 @@ type Options struct {
 	// as CSV + JSON time series + Chrome trace files under this directory
 	// (implies Telemetry with defaults when unset).
 	TelemetryDir string
+	// Context, when non-nil, scopes every matrix run: cancel it and
+	// in-flight simulations stop on the next check cadence with
+	// context.Canceled (labeled per cell in Suite.Err), queued cells are
+	// skipped. Nil means context.Background().
+	Context context.Context
+	// Backend, when non-nil, executes matrix cells instead of the
+	// in-process simulator — e.g. a dserve.Dispatcher sharding the matrix
+	// across dmdcd servers. Deterministic simulation makes backend results
+	// byte-identical to local ones, so artifacts are unaffected. The
+	// result cache still operates locally (hits skip the backend; backend
+	// results are written back). Mutually exclusive with Telemetry:
+	// per-job samplers live in the executing process — fetch remote series
+	// from dmdcd's /v1/telemetry endpoint instead.
+	Backend Backend
 }
 
 // DefaultOptions returns options suitable for regenerating the paper's
@@ -87,6 +102,12 @@ func (o Options) normalized() (Options, error) {
 	}
 	if o.TelemetryDir != "" && o.Telemetry == nil {
 		o.Telemetry = &telemetry.Config{}
+	}
+	if o.Context == nil {
+		o.Context = context.Background()
+	}
+	if o.Backend != nil && o.Telemetry != nil {
+		return o, fmt.Errorf("experiments: telemetry samplers require in-process execution; with a Backend, read per-job series from the backend's /v1/telemetry endpoint instead")
 	}
 	if len(o.Benchmarks) == 0 {
 		o.Benchmarks = trace.Names()
@@ -229,13 +250,26 @@ func (s *Suite) runMatrix(specs []runSpec) (map[string][]*core.Result, error) {
 	)
 	total := len(jobs)
 	start := time.Now()
+	ctx := s.opts.Context
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for j := range jobCh {
-				r, cached, err := s.runJob(j.spec, j.bench)
+				var (
+					r      *core.Result
+					cached bool
+					err    error
+				)
+				if cerr := ctx.Err(); cerr != nil {
+					// Canceled: drain the queue, labeling each skipped cell,
+					// so Suite.Err reports context.Canceled per cell instead
+					// of hanging or silently dropping work.
+					err = &RunError{Key: j.spec.key, Benchmark: j.bench, Err: cerr}
+				} else {
+					r, cached, err = s.runJob(ctx, j.spec, j.bench)
+				}
 				mu.Lock()
 				if err != nil {
 					errs = append(errs, err)
@@ -283,7 +317,7 @@ func progressLine(done, total int, j job, cached bool, err error, start time.Tim
 // soundness divergence, a watchdog trip, or a panic anywhere inside the
 // simulator — becomes a labeled *RunError rather than crashing the worker
 // pool, so one bad cell never discards its siblings' work.
-func (s *Suite) runJob(sp runSpec, bench string) (r *core.Result, cached bool, err error) {
+func (s *Suite) runJob(ctx context.Context, sp runSpec, bench string) (r *core.Result, cached bool, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			r, cached = nil, false
@@ -306,47 +340,46 @@ func (s *Suite) runJob(sp runSpec, bench string) (r *core.Result, cached bool, e
 			return hit, true, nil
 		}
 	}
-	prof, err := trace.ByName(bench)
-	if err != nil {
-		// Benchmarks are validated in NewSuite; this guards direct
-		// construction paths (tests, future callers).
-		return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: err}
+	if s.opts.Backend != nil {
+		// Ship the cell as a (run key, benchmark) wire job; the backend
+		// reconstructs the spec through the same resolveSpec table, so the
+		// result is byte-identical to the in-process path below.
+		r, err = s.opts.Backend.Run(ctx, JobSpec{
+			Machine:        sp.machine,
+			RunKey:         sp.key,
+			Benchmark:      bench,
+			Insts:          s.opts.Insts,
+			Soundness:      s.opts.Soundness,
+			Faults:         s.opts.Faults.String(),
+			WatchdogCycles: s.opts.WatchdogCycles,
+		})
+	} else {
+		var sampler *telemetry.Sampler
+		if s.telemetry != nil {
+			// Each job records into its own sampler (no cross-job bleed) and
+			// is registered before the run starts so a live endpoint can
+			// watch it fill in.
+			sampler = telemetry.New(*s.opts.Telemetry)
+			s.telemetry.Register(jobKey(sp.key, bench), sampler)
+		}
+		r, err = executeCell(ctx, sp, bench, execParams{
+			insts:     s.opts.Insts,
+			soundness: s.opts.Soundness,
+			faults:    s.opts.Faults,
+			watchdog:  s.opts.WatchdogCycles,
+			sampler:   sampler,
+		})
+		if err == nil {
+			if sampler != nil && s.opts.TelemetryDir != "" {
+				// The simulation itself succeeded; an export failure is
+				// still an error (the caller asked for the files), labeled
+				// like any other.
+				if werr := writeJobTelemetry(s.opts.TelemetryDir, jobKey(sp.key, bench), sampler.Snapshot()); werr != nil {
+					return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: werr}
+				}
+			}
+		}
 	}
-	em := energy.NewModel(sp.machine.CoreSize())
-	pol, err := sp.factory(sp.machine, em)
-	if err != nil {
-		return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: err}
-	}
-	opts := append([]core.Option{}, sp.extraOpts...)
-	if sp.invRate > 0 {
-		opts = append(opts, core.WithInvalidations(sp.invRate))
-	}
-	if sp.monitors != nil {
-		opts = append(opts, core.WithMonitors(sp.monitors()...))
-	}
-	if s.opts.Soundness {
-		opts = append(opts, core.WithOracle(core.FromGenerator(trace.NewGenerator(prof))))
-	}
-	if !s.opts.Faults.Zero() {
-		opts = append(opts, core.WithFaults(s.opts.Faults))
-	}
-	if s.opts.WatchdogCycles > 0 {
-		opts = append(opts, core.WithWatchdog(s.opts.WatchdogCycles))
-	}
-	var sampler *telemetry.Sampler
-	if s.telemetry != nil {
-		// Each job records into its own sampler (no cross-job bleed) and is
-		// registered before the run starts so a live endpoint can watch it
-		// fill in.
-		sampler = telemetry.New(*s.opts.Telemetry)
-		s.telemetry.Register(jobKey(sp.key, bench), sampler)
-		opts = append(opts, core.WithTelemetry(sampler))
-	}
-	sim, err := core.New(sp.machine, prof, pol, em, opts...)
-	if err != nil {
-		return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: err}
-	}
-	r, err = sim.Run(s.opts.Insts)
 	if err != nil {
 		return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: err}
 	}
@@ -355,13 +388,6 @@ func (s *Suite) runJob(sp runSpec, bench string) (r *core.Result, cached bool, e
 		// Best-effort: a failed write only costs a recompute next time;
 		// the cache counts it (WriteErrors) for observability.
 		s.cache.Put(key, r)
-	}
-	if sampler != nil && s.opts.TelemetryDir != "" {
-		// The simulation itself succeeded; an export failure is still an
-		// error (the caller asked for the files), labeled like any other.
-		if werr := writeJobTelemetry(s.opts.TelemetryDir, jobKey(sp.key, bench), sampler.Snapshot()); werr != nil {
-			return nil, false, &RunError{Key: sp.key, Benchmark: bench, Err: werr}
-		}
 	}
 	return r, false, nil
 }

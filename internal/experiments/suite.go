@@ -111,47 +111,60 @@ func (s *Suite) CacheStats() (hits, misses, writeErrors uint64) {
 	return s.cache.Hits(), s.cache.Misses(), s.cache.WriteErrors()
 }
 
-// specFor materializes the runSpec for a key.
+// specFor materializes the runSpec for a key the suite itself produced;
+// an unknown key is a programming error, not an input error.
 func (s *Suite) specFor(key string) runSpec {
+	sp, ok := resolveSpec(key)
+	if !ok {
+		panic("experiments: unknown run key " + key)
+	}
+	return sp
+}
+
+// resolveSpec materializes the runSpec for a run key. Every key names
+// code, not data — the policy factory, monitor set, and injection options
+// are reconstructed from the key alone, which is what lets a remote
+// backend execute matrix cells shipped to it as (key, benchmark) pairs.
+func resolveSpec(key string) (runSpec, bool) {
 	c2 := config.Config2()
 	switch key {
 	case keyMonitored:
-		return runSpec{key: key, machine: c2, factory: BaselineFactory, monitors: allMonitors}
+		return runSpec{key: key, machine: c2, factory: BaselineFactory, monitors: allMonitors}, true
 	case keyYLA:
-		return runSpec{key: key, machine: c2, factory: YLAFactory}
+		return runSpec{key: key, machine: c2, factory: YLAFactory}, true
 	case keyNoSafe():
-		return runSpec{key: key, machine: c2, factory: DMDCNoSafeLoadsFactory}
+		return runSpec{key: key, machine: c2, factory: DMDCNoSafeLoadsFactory}, true
 	}
 	for _, m := range config.All() {
 		switch key {
 		case keyBase(m.Name):
-			return runSpec{key: key, machine: m, factory: BaselineFactory}
+			return runSpec{key: key, machine: m, factory: BaselineFactory}, true
 		case keyGlobal(m.Name):
-			return runSpec{key: key, machine: m, factory: DMDCGlobalFactory}
+			return runSpec{key: key, machine: m, factory: DMDCGlobalFactory}, true
 		case keyLocal(m.Name):
-			return runSpec{key: key, machine: m, factory: DMDCLocalFactory}
+			return runSpec{key: key, machine: m, factory: DMDCLocalFactory}, true
 		}
 	}
 	for _, rate := range InvRates {
 		if key == keyInv(rate) {
-			return runSpec{key: key, machine: c2, factory: DMDCGlobalFactory, invRate: rate}
+			return runSpec{key: key, machine: c2, factory: DMDCGlobalFactory, invRate: rate}, true
 		}
 	}
 	for _, n := range QueueSizes {
 		if key == keyQueue(n) {
-			return runSpec{key: key, machine: c2, factory: DMDCQueueFactory(n)}
+			return runSpec{key: key, machine: c2, factory: DMDCQueueFactory(n)}, true
 		}
 	}
-	if sp, ok := s.extensionSpec(key); ok {
-		return sp
+	if sp, ok := extensionSpec(key); ok {
+		return sp, true
 	}
-	if sp, ok := s.relatedWorkSpec(key); ok {
-		return sp
+	if sp, ok := relatedWorkSpec(key); ok {
+		return sp, true
 	}
-	if sp, ok := s.verificationSpec(key); ok {
-		return sp
+	if sp, ok := verificationSpec(key); ok {
+		return sp, true
 	}
-	panic("experiments: unknown run key " + key)
+	return runSpec{}, false
 }
 
 // allMonitors builds the passive monitor set for the instrumented baseline.

@@ -31,7 +31,7 @@ func ValueSVWFactory(m config.Machine, em *energy.Model) (lsq.Policy, error) {
 }
 
 // verificationSpec resolves the value-based run keys.
-func (s *Suite) verificationSpec(key string) (runSpec, bool) {
+func verificationSpec(key string) (runSpec, bool) {
 	c2 := config.Config2()
 	switch key {
 	case keyValueBased:
