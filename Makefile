@@ -21,7 +21,7 @@ GO ?= go
 CACHE_DIR ?= .dmdc-cache
 BENCH_COUNT ?= 5
 
-.PHONY: all build test check vet api-check race soundness fuzz-short cover bench bench-smoke bench-all report clean-cache
+.PHONY: all build test check vet api-check race soundness alloc-gate fuzz-short cover bench bench-smoke bench-all report clean-cache
 
 all: build test check
 
@@ -64,14 +64,21 @@ cover:
 api-check:
 	$(GO) run ./cmd/apicheck
 
-check: vet api-check race soundness bench-smoke fuzz-short cover
+# Allocation-budget gate: one pooled-arena simulation run must stay within
+# a fixed allocation count (see alloc_test.go), pinning the SoA/arena
+# refactor's allocation-free hot loop.
+alloc-gate:
+	$(GO) test -run 'TestAllocationBudget' -count 1 .
+
+check: vet api-check race soundness alloc-gate bench-smoke fuzz-short cover
 
 # Core-simulator throughput, recorded. Medians over BENCH_COUNT repetitions
-# land in the "current" section of BENCH_core.json; the "pre_pr3" section
-# holds the pre-optimization numbers the speedup ratios compare against.
+# land in the "current" section of BENCH_core.json; the "pre_pr6" section
+# holds the numbers from just before the SoA/arena refactor (and "pre_pr3"
+# the pre-optimization ones), which the speedup ratios compare against.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC|Telemetry)$$' -benchtime 30x -count $(BENCH_COUNT) -benchmem . \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_core.json
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_core.json -base pre_pr6
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC|Telemetry)$$' -benchtime 1x .

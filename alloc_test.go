@@ -1,0 +1,34 @@
+package dmdc_test
+
+import (
+	"testing"
+
+	"dmdc"
+)
+
+// Allocation budget for one pooled-arena simulation run. A warm run's
+// remaining allocations are per-run construction — cache hierarchy,
+// branch predictor, policy, stats — not per-instruction or per-cycle
+// work; the SoA/arena refactor drove BenchmarkSimBaseline from ~7.8k
+// allocs/op to under a hundred. The ceiling is set loose enough for Go
+// version drift in map/slice growth but far below what any per-dispatch
+// or per-event allocation regression would produce (each costs tens of
+// thousands per 5k-instruction run).
+const allocBudget = 500
+
+// TestAllocationBudget is the `make check` gate (alloc-gate target) that
+// keeps the simulator's hot loop allocation-free.
+func TestAllocationBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("allocation counting is load-sensitive; skipped in -short")
+	}
+	run := func() {
+		if _, err := dmdc.Simulate(dmdc.Config2(), "gcc", dmdc.PolicyDMDC, 5_000); err != nil {
+			t.Fatal(err)
+		}
+	}
+	run() // warm the arena pool and the CFG template cache
+	if got := testing.AllocsPerRun(10, run); got > allocBudget {
+		t.Fatalf("allocations per run = %.0f, budget %d — a hot-path allocation crept back in", got, allocBudget)
+	}
+}

@@ -83,7 +83,10 @@ type Predictor struct {
 	meta    []uint8 // 2-bit chooser: >=2 selects gshare
 	history uint32  // speculative global history
 	histMsk uint32
-	btb     [][]btbEntry // [set][way]
+	// The BTB is one flat [sets*ways] slice — set s spans
+	// btb[s*ways : (s+1)*ways] — so constructing a predictor costs one
+	// allocation instead of one per set.
+	btb     []btbEntry
 	btbSets int
 	lruTick uint64
 
@@ -117,10 +120,7 @@ func New(cfg Config) *Predictor {
 	for i := range p.meta {
 		p.meta[i] = 2
 	}
-	p.btb = make([][]btbEntry, p.btbSets)
-	for i := range p.btb {
-		p.btb[i] = make([]btbEntry, cfg.BTBWays)
-	}
+	p.btb = make([]btbEntry, cfg.BTBEntries)
 	return p
 }
 
@@ -201,8 +201,9 @@ func (p *Predictor) RestoreHistory(checkpoint uint32, taken bool) {
 func (p *Predictor) btbLookup(pc uint64) (uint64, bool) {
 	set := (pc >> 2) % uint64(p.btbSets)
 	tag := pc >> 2 / uint64(p.btbSets)
-	for i := range p.btb[set] {
-		e := &p.btb[set][i]
+	ways := p.btb[int(set)*p.cfg.BTBWays : (int(set)+1)*p.cfg.BTBWays]
+	for i := range ways {
+		e := &ways[i]
 		if e.valid && e.tag == tag {
 			p.lruTick++
 			e.lru = p.lruTick
@@ -216,9 +217,10 @@ func (p *Predictor) btbLookup(pc uint64) (uint64, bool) {
 func (p *Predictor) btbInsert(pc, target uint64) {
 	set := (pc >> 2) % uint64(p.btbSets)
 	tag := pc >> 2 / uint64(p.btbSets)
+	ways := p.btb[int(set)*p.cfg.BTBWays : (int(set)+1)*p.cfg.BTBWays]
 	victim := 0
-	for i := range p.btb[set] {
-		e := &p.btb[set][i]
+	for i := range ways {
+		e := &ways[i]
 		if e.valid && e.tag == tag {
 			e.target = target
 			p.lruTick++
@@ -229,12 +231,12 @@ func (p *Predictor) btbInsert(pc, target uint64) {
 			victim = i
 			break
 		}
-		if e.lru < p.btb[set][victim].lru {
+		if e.lru < ways[victim].lru {
 			victim = i
 		}
 	}
 	p.lruTick++
-	p.btb[set][victim] = btbEntry{valid: true, tag: tag, target: target, lru: p.lruTick}
+	ways[victim] = btbEntry{valid: true, tag: tag, target: target, lru: p.lruTick}
 }
 
 // MispredictRate returns mispredicts / lookups, or zero when no lookups.

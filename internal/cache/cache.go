@@ -49,7 +49,7 @@ type line struct {
 // memLatency (the DRAM access time). Not safe for concurrent use.
 type Cache struct {
 	cfg        Config
-	sets       [][]line
+	sets       []line // flat set-major storage; set i spans [i*Ways, (i+1)*Ways)
 	nSets      uint64
 	setMask    uint64 // nSets-1; set counts are validated powers of two
 	setShift   uint   // log2(nSets)
@@ -85,11 +85,7 @@ func New(cfg Config, next *Cache, memLatency int) (*Cache, error) {
 	for s := c.nSets; s > 1; s >>= 1 {
 		c.setShift++
 	}
-	c.sets = make([][]line, c.nSets)
-	backing := make([]line, int(c.nSets)*cfg.Ways)
-	for i := range c.sets {
-		c.sets[i] = backing[i*cfg.Ways : (i+1)*cfg.Ways]
-	}
+	c.sets = make([]line, int(c.nSets)*cfg.Ways)
 	return c, nil
 }
 
@@ -121,7 +117,7 @@ func (c *Cache) indexTag(addr uint64) (uint64, uint64) {
 func (c *Cache) Access(addr uint64, write bool) int {
 	c.Accesses++
 	set, tag := c.indexTag(addr)
-	ways := c.sets[set]
+	ways := c.sets[int(set)*c.cfg.Ways : (int(set)+1)*c.cfg.Ways]
 	for i := range ways {
 		l := &ways[i]
 		if l.valid && l.tag == tag {
@@ -162,8 +158,9 @@ func (c *Cache) Access(addr uint64, write bool) int {
 // Probe reports whether the address hits without changing any state.
 func (c *Cache) Probe(addr uint64) bool {
 	set, tag := c.indexTag(addr)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	ways := c.sets[int(set)*c.cfg.Ways : (int(set)+1)*c.cfg.Ways]
+	for i := range ways {
+		l := &ways[i]
 		if l.valid && l.tag == tag {
 			return true
 		}
@@ -178,8 +175,9 @@ func (c *Cache) Probe(addr uint64) bool {
 func (c *Cache) Invalidate(addr uint64) {
 	c.Invals++
 	set, tag := c.indexTag(addr)
-	for i := range c.sets[set] {
-		l := &c.sets[set][i]
+	ways := c.sets[int(set)*c.cfg.Ways : (int(set)+1)*c.cfg.Ways]
+	for i := range ways {
+		l := &ways[i]
 		if l.valid && l.tag == tag {
 			l.valid = false
 			l.dirty = false

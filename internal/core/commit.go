@@ -15,30 +15,32 @@ import (
 // refetches it.
 func (s *Sim) commitStage() {
 	for n := 0; n < s.cfg.CommitWidth && s.count > 0; n++ {
-		e := &s.rob[s.headIdx]
-		if e.state != stCompleted {
+		idx := s.headIdx
+		h := &s.robHot[idx]
+		if h.state != stCompleted {
 			return
 		}
-		if e.wrongPath {
+		d := &s.robData[idx]
+		if h.wrongPath() {
 			// A wrong-path instruction can never reach the ROB head: the
 			// mispredicted branch ahead of it squashes at resolve, and
 			// branches resolve before they would commit.
 			s.simErr = &soundness.SoundnessError{
 				Kind:   soundness.KindWrongPathCommit,
-				Age:    e.age,
-				PC:     e.inst.PC,
-				Seq:    e.inst.Seq,
+				Age:    h.age,
+				PC:     d.inst.PC,
+				Seq:    d.inst.Seq,
 				Cycle:  s.cycle,
 				Commit: s.committed,
-				Got:    "wrong-path instruction at the ROB head: " + e.inst.String(),
+				Got:    "wrong-path instruction at the ROB head: " + d.inst.String(),
 				Want:   "only correct-path instructions reach commit",
 				Events: s.ring.Snapshot(),
 			}
 			return
 		}
-		age := e.age
+		age := h.age
 		s.polInstCommit(age)
-		op := e.inst.Op
+		op := h.op
 		switch {
 		case op.IsLoad():
 			if s.faults.SpuriousEvery > 0 {
@@ -52,7 +54,7 @@ func (s *Sim) commitStage() {
 					return
 				}
 			}
-			if r := s.polLoadCommit(e.mem); r != nil {
+			if r := s.polLoadCommit(&s.memOps[idx]); r != nil {
 				// Delayed check fired: the load must re-execute. Squash
 				// from the load itself and refetch; it does not commit.
 				s.replay(r)
@@ -62,44 +64,42 @@ func (s *Sim) commitStage() {
 		case op.IsStore():
 			// The store drains to the cache at commit.
 			s.em.Add(energy.CompL1D, s.costL1D)
-			if lat := s.mem.L1D.Access(e.inst.Addr, true); lat > s.cfg.Memory.L1D.Latency {
+			if lat := s.mem.L1D.Access(d.inst.Addr, true); lat > s.cfg.Memory.L1D.Latency {
 				s.em.Add(energy.CompL2, s.costL2)
 			}
-			s.pol.StoreCommit(e.mem)
+			mem := &s.memOps[idx]
+			s.pol.StoreCommit(mem)
 			for _, m := range s.monitors {
-				m.StoreCommit(e.mem)
+				m.StoreCommit(mem)
 			}
 			s.removeSQ(age)
 		}
 		if s.oracle != nil {
-			if err := s.oracle.Commit(e.inst, e.mem, age, s.cycle); err != nil {
+			if err := s.oracle.Commit(d.inst, s.memAt(idx), age, s.cycle); err != nil {
 				s.simErr = err
 				return
 			}
 		}
 		// Release the physical register and retire the producer mapping.
-		if e.inst.HasDest() {
-			if isa.IsFPReg(e.inst.Dest) {
+		if h.flags&fHasDest != 0 {
+			if isa.IsFPReg(d.inst.Dest) {
 				s.freeFP++
 			} else {
 				s.freeInt++
 			}
-			if s.regProducer[e.inst.Dest] == age {
-				s.regProducer[e.inst.Dest] = 0
+			if s.regProducer[d.inst.Dest] == age {
+				s.regProducer[d.inst.Dest] = 0
 			}
 		}
-		// The instruction is past every commit-side hook (policy, monitors,
-		// oracle); its MemOp can go back on the free list.
-		if e.mem != nil {
-			s.freeMemOp(e.mem)
-			e.mem = nil
-		}
+		// The slot's MemOp arena entry needs no release: it stays in
+		// place, past every commit-side hook, until a later insert
+		// overwrites it.
 		if s.tracing {
-			s.traceEvent("CM", age, &e.inst, "")
+			s.traceEvent("CM", age, &d.inst, "")
 		}
 		s.em.Add(energy.CompROB, s.costROB)
 		if s.commitHook != nil {
-			s.commitHook(e.inst)
+			s.commitHook(d.inst)
 		}
 		s.committed++
 		s.lastCommitCycle = s.cycle
@@ -107,7 +107,7 @@ func (s *Sim) commitStage() {
 			s.replayPending = false
 		}
 		s.headIdx++
-		if s.headIdx == len(s.rob) {
+		if s.headIdx == len(s.robHot) {
 			s.headIdx = 0
 		}
 		s.headAge++
@@ -147,7 +147,9 @@ func (s *Sim) replay(r *lsq.Replay) {
 		s.replayPending = true
 		s.replayUntilAge = r.FromAge
 	}
-	s.traceMark("RPL", fmt.Sprintf("replay from age=%d cause=%v", r.FromAge, r.Cause))
+	if s.tracing {
+		s.traceMark("RPL", fmt.Sprintf("replay from age=%d cause=%v", r.FromAge, r.Cause))
+	}
 	if s.unresolvedMispredictBefore(r.FromAge) {
 		// Wrong-path-only replay: discard the squashed suffix (none of it
 		// can be refetched from the correct-path stream) and leave the
@@ -184,14 +186,15 @@ func (s *Sim) unresolvedMispredictBefore(age uint64) bool {
 	}
 	idx := s.headIdx
 	for k := 0; k < s.count; k++ {
-		e := &s.rob[idx]
-		if idx++; idx == len(s.rob) {
+		h := &s.robHot[idx]
+		d := &s.robData[idx]
+		if idx++; idx == len(s.robHot) {
 			idx = 0
 		}
-		if e.age >= age {
+		if h.age >= age {
 			break // ROB is age-ordered; nothing older remains
 		}
-		if e.predicted && e.mispredicted && e.state != stCompleted {
+		if d.predicted && d.mispredicted && h.state != stCompleted {
 			return true
 		}
 	}
@@ -207,45 +210,54 @@ func (s *Sim) unresolvedMispredictBefore(age uint64) bool {
 func (s *Sim) squashAfter(keepAge uint64, save bool) {
 	s.epoch++
 	if s.count == 0 {
-		s.flushFetchQ(save, nil)
+		s.flushFetchQ(save, s.squashScratch[:0])
 		return
 	}
 	tailAge := s.headAge + uint64(s.count) - 1
 	if keepAge >= tailAge {
-		s.flushFetchQ(save, nil)
+		s.flushFetchQ(save, s.squashScratch[:0])
 		return
 	}
 	from := keepAge + 1
 	if from < s.headAge {
 		from = s.headAge
 	}
-	var saved []isa.Inst
+	// saved reuses the scratch buffer that ping-pongs with the replay
+	// queue's backing array (see flushFetchQ): a big squash no longer
+	// allocates a fresh slice to carry the refetch set.
+	saved := s.squashScratch[:0]
 	var firstBranchCp uint32
 	var sawBranch bool
+	idx := s.idxOf(from)
 	for age := from; age <= tailAge; age++ {
-		e := s.entryOf(age)
-		if save && !e.wrongPath {
-			saved = append(saved, e.inst)
+		h := &s.robHot[idx]
+		d := &s.robData[idx]
+		if idx++; idx == len(s.robHot) {
+			idx = 0
 		}
-		if !sawBranch && e.predicted {
-			firstBranchCp = e.histCp
+		if save && !h.wrongPath() {
+			saved = append(saved, d.inst)
+		}
+		if !sawBranch && d.predicted {
+			firstBranchCp = d.histCp
 			sawBranch = true
 		}
 		// Unwind side structures.
-		if e.inst.HasDest() {
-			if isa.IsFPReg(e.inst.Dest) {
+		if h.flags&fHasDest != 0 {
+			if isa.IsFPReg(d.inst.Dest) {
 				s.freeFP++
 			} else {
 				s.freeInt++
 			}
 		}
-		if e.state == stWaiting {
-			s.leaveIQ(e)
+		if h.state == stWaiting {
+			s.leaveIQ(h.op)
 		}
-		if e.inst.Op.IsLoad() {
+		if h.op.IsLoad() {
 			s.inflightLoads--
 		}
 	}
+	s.squashScratch = saved
 	s.count = int(from - s.headAge)
 	s.nextAge = from // recycle ages so ROB ages stay contiguous
 	// Store queue: drop squashed stores (age-ordered suffix).
@@ -263,9 +275,9 @@ func (s *Sim) squashAfter(keepAge uint64, save bool) {
 	// recycled, so liveness checks alone would not catch them), and
 	// rebuild the rename map from the surviving entries.
 	w := s.waiting[:0]
-	for _, age := range s.waiting {
-		if age < from {
-			w = append(w, age)
+	for _, se := range s.waiting {
+		if se.age < from {
+			w = append(w, se)
 		}
 	}
 	s.waiting = w
@@ -277,7 +289,9 @@ func (s *Sim) squashAfter(keepAge uint64, save bool) {
 	}
 	s.dataWait = dw
 	s.rebuildProducers()
-	s.traceMark("SQH", fmt.Sprintf("squash from age=%d", from))
+	if s.tracing {
+		s.traceMark("SQH", fmt.Sprintf("squash from age=%d", from))
+	}
 	if s.oracle != nil {
 		s.oracle.Squashed(from)
 	}
@@ -285,25 +299,9 @@ func (s *Sim) squashAfter(keepAge uint64, save bool) {
 	for _, m := range s.monitors {
 		m.Squash(from)
 	}
-	// The policy and monitors have dropped every reference to the squashed
-	// suffix; recycle its MemOps. The slots stay in the rob array until a
-	// later insert overwrites them, so clear the pointers too. (idxOf wants
-	// a live age and from is no longer one, but its offset from the head is
-	// still within the ring, so the same arithmetic applies.)
-	idx := s.headIdx + int(from-s.headAge)
-	if idx >= len(s.rob) {
-		idx -= len(s.rob)
-	}
-	for age := from; age <= tailAge; age++ {
-		e := &s.rob[idx]
-		if idx++; idx == len(s.rob) {
-			idx = 0
-		}
-		if e.mem != nil {
-			s.freeMemOp(e.mem)
-			e.mem = nil
-		}
-	}
+	// The squashed slots' MemOp arena entries need no recycling: the
+	// policy and monitors have dropped every reference, and the entries
+	// stay in place until a later insert overwrites them.
 	s.flushFetchQ(save, saved)
 }
 
@@ -315,16 +313,24 @@ func (s *Sim) flushFetchQ(save bool, savedROB []isa.Inst) {
 	if save {
 		saved := savedROB
 		for i := s.fqHead; i < len(s.fetchQ); i++ {
-			if !s.fetchQ[i].wrongPath {
-				saved = append(saved, s.fetchQ[i].inst)
+			if !s.fetchQMeta[i].wrongPath {
+				saved = append(saved, s.fetchQ[i])
 			}
 		}
 		if len(saved) > 0 {
-			s.replayQ = append(saved, s.replayQ[s.rqHead:]...)
+			saved = append(saved, s.replayQ[s.rqHead:]...)
+			// The scratch buffer becomes the live replay queue; the old
+			// replay backing becomes the next squash's scratch. savedROB
+			// always aliases squashScratch (or is nil), never replayQ, so
+			// the append above never reads what it is overwriting.
+			old := s.replayQ
+			s.replayQ = saved
+			s.squashScratch = old[:0]
 			s.rqHead = 0
 		}
 	}
 	s.fetchQ = s.fetchQ[:0]
+	s.fetchQMeta = s.fetchQMeta[:0]
 	s.fqHead = 0
 }
 
@@ -336,12 +342,13 @@ func (s *Sim) rebuildProducers() {
 	}
 	idx := s.headIdx
 	for k := 0; k < s.count; k++ {
-		e := &s.rob[idx]
-		if idx++; idx == len(s.rob) {
+		h := &s.robHot[idx]
+		d := &s.robData[idx]
+		if idx++; idx == len(s.robHot) {
 			idx = 0
 		}
-		if e.inst.HasDest() {
-			s.regProducer[e.inst.Dest] = e.age
+		if h.flags&fHasDest != 0 {
+			s.regProducer[d.inst.Dest] = h.age
 		}
 	}
 }

@@ -15,7 +15,7 @@ package core
 import (
 	"context"
 	"fmt"
-	"math/rand"
+	"dmdc/internal/xrand"
 
 	"dmdc/internal/bpred"
 	"dmdc/internal/cache"
@@ -36,36 +36,54 @@ const (
 	stCompleted              // result available / ready to commit
 )
 
-// entry is one ROB slot. Field order is deliberate: the issue-stage scan
-// re-reads age, notBefore, the producer links, state, and the store flags
-// for every waiting instruction every cycle, so those fields are packed
-// into the leading 64 bytes (one cache line); the bulkier instruction and
-// branch state follow.
-type entry struct {
+// hotEntry is the half of a ROB slot the per-cycle scans touch: the
+// issue stage re-reads age, notBefore, the producer links, state, and
+// the op class for every waiting instruction every cycle, and the
+// complete and commit stages test the same fields. At 48 bytes, a
+// 256-entry ROB's hot state is ~12KB — resident in L1 — where the
+// previous ~200-byte combined entries spanned four lines each and the
+// scan's strided reads evicted one another. The bulky instruction and
+// branch-recovery state live in the parallel robData array, touched
+// once per stage transition, and the per-slot MemOps in the memOps
+// arena (struct-of-arrays, all indexed by the same slot).
+type hotEntry struct {
 	age       uint64
 	notBefore uint64 // earliest cycle the op may (re)attempt issue
 
+	compCycle uint64 // cycle the last scheduled completion event fires
+
 	// Producer ages of the source operands, captured at rename time
-	// (0 means the value was already architectural). srcNPtr points at the
+	// (0 means the value was already architectural). srcNIdx is the
 	// producer's ROB slot so readiness checks skip the age-to-slot
-	// arithmetic; it is cleared the first time the producer is seen
+	// arithmetic; it is set to -1 the first time the producer is seen
 	// completed (readiness is monotonic: squashing the older producer
 	// always squashes this younger consumer too).
 	src1Prod uint64
 	src2Prod uint64
-	src1Ptr  *entry
-	src2Ptr  *entry
+	src1Idx  int32
+	src2Idx  int32
 
-	mem *lsq.MemOp
+	epoch uint32 // squash generation; invalidates stale events on recycled ages
+	state uint8
+	flags uint8
+	op    isa.Op // copy of the instruction's op, for FU class tests
+}
 
-	epoch     uint32 // squash generation; invalidates stale events on recycled ages
-	state     uint8
-	wrongPath bool
+// hotEntry flag bits.
+const (
+	fWrongPath    uint8 = 1 << iota // fetched down a mispredicted path
+	fAddrResolved                   // stores: address operand executed
+	fDataReady                      // stores: data operand ready
+	fHasMem                         // slot's memOps arena entry is live
+	fHasDest                        // instruction writes a register
+)
 
-	// Store operand tracking.
-	addrResolved bool
-	dataReady    bool
+func (h *hotEntry) wrongPath() bool { return h.flags&fWrongPath != 0 }
 
+// robData is the cold half of a ROB slot: the full instruction plus the
+// branch-recovery state, read at stage boundaries (dispatch, branch
+// resolve, commit, squash) but never inside the per-entry issue scan.
+type robData struct {
 	inst isa.Inst
 
 	// Branch state.
@@ -127,26 +145,52 @@ type Sim struct {
 
 	monitors   []lsq.Monitor
 	invRate    float64
-	invRng     *rand.Rand
+	invRng     *xrand.Rand
 	commitHook func(isa.Inst)
 	ptrace     *pipeTrace
 
 	cycle   uint64
 	nextAge uint64
 
-	// ROB ring buffer; ages of live entries are contiguous.
-	rob     []entry
+	// ROB ring buffer; ages of live entries are contiguous. robHot,
+	// robData, and memOps are parallel struct-of-arrays sharing slot
+	// indices. memOps is an arena: every memory instruction's MemOp
+	// lives in the slot matching its ROB slot, overwritten in place
+	// when the age recycles — policies receive stable pointers into it
+	// and must drop them by commit/squash time (the same lifetime
+	// contract the old free list enforced).
+	robHot  []hotEntry
+	robData []robData
+	memOps  []lsq.MemOp
 	headIdx int
 	count   int
 	headAge uint64
 
+	// arena, when set via WithArena, owns the backing arrays above plus the
+	// scheduler and fetch queues; RunContext writes regrown queue headers
+	// back to it so the next run reuses them.
+	arena *Arena
+
+	// poisoned records the first error a run ended with. A failed run
+	// leaves the pipeline mid-cycle, so every later RunContext fails fast
+	// with a *PoisonedError instead of stepping corrupt state.
+	poisoned error
+
 	// Fetch plumbing. fetchQ and replayQ are consumed from the front; both
 	// use a head index instead of re-slicing so a pop is O(1), with
-	// occasional compaction to keep the backing arrays bounded.
-	fetchQ      []fetchedInst
-	fqHead      int
+	// occasional compaction to keep the backing arrays bounded. The fetch
+	// queue is split struct-of-arrays style: fetchQ holds the instructions
+	// themselves (so a batching workload can generate directly into the
+	// queue slots), fetchQMeta the per-slot prediction state.
+	fetchQ     []isa.Inst
+	fetchQMeta []fetchMeta
+	fqHead     int
 	replayQ     []isa.Inst // correct-path instructions to re-inject after a replay
 	rqHead      int
+	// squashScratch carries the squashed-but-correct-path instructions from
+	// squashAfter into flushFetchQ, where it ping-pongs with replayQ's
+	// backing array; the two never alias.
+	squashScratch []isa.Inst
 	wpActive    bool
 	wpStream    InstSource
 	wpBranchAge uint64
@@ -156,7 +200,14 @@ type Sim struct {
 	lastWPPC    uint64 // next wrong-path fetch PC
 
 	// Scheduling.
-	waiting  []uint64  // ages of entries in stWaiting, ascending
+	waiting  []schedEnt // stWaiting entries, age-ascending, with sleep hints
+	// issueSkipUntil elides whole issue scans: when a scan finds every
+	// waiting entry asleep (each hit only the wake-test fast path, so the
+	// scan provably had no effect), nothing can issue before the earliest
+	// wake, and issueStage returns immediately until that cycle. Cleared
+	// by dispatch, the only way a wake-0 entry can appear; a squash only
+	// removes entries, which cannot make anything issue earlier.
+	issueSkipUntil uint64
 	dataWait []wheelEv // stores whose data operand is pending (epoch-tagged)
 	wheel    [][]wheelEv
 	epoch    uint32
@@ -174,11 +225,8 @@ type Sim struct {
 	// In-flight load count (policy capacity gate).
 	inflightLoads int
 	loadCap       int // policy LoadCapacity, resolved once at construction
-
-	// Free list of MemOp structs. Every memory instruction needs one, and
-	// without pooling they account for roughly a fifth of all allocations;
-	// commit and squash return them here and insert reuses them.
-	memFree []*lsq.MemOp
+	wlBatch       Batcher // wl's batch refinement, nil if unsupported
+	faultsActive  bool    // !faults.Zero(), cached off the dispatch path
 
 	// Concrete fast paths for the two hot policy implementations. Resolved
 	// once at construction; the per-cycle and per-commit policy calls branch
@@ -249,8 +297,9 @@ type wheelEv struct {
 	epoch uint32
 }
 
-type fetchedInst struct {
-	inst      isa.Inst
+// fetchMeta is the prediction state of one fetch-queue slot; the
+// instruction itself lives in the parallel fetchQ slice.
+type fetchMeta struct {
 	wrongPath bool
 	pred      bpred.Prediction
 	histCp    uint32
@@ -286,13 +335,11 @@ func NewWithWorkload(cfg config.Machine, wl Workload, pol lsq.Policy, em *energy
 		em:             em,
 		bp:             bpred.New(cfg.BPred),
 		mem:            hier,
-		rob:            make([]entry, cfg.ROBSize),
-		wheel:          make([][]wheelEv, wheelSize),
 		nextAge:        1,
 		headAge:        1,
 		freeInt:        cfg.IntRegs - isa.NumIntRegs,
 		freeFP:         cfg.FPRegs - isa.NumFPRegs,
-		invRng:         rand.New(rand.NewSource(wl.Meta().Seed ^ 0x1234_5678)),
+		invRng:         xrand.New(wl.Meta().Seed ^ 0x1234_5678),
 		cstats:         stats.NewSet(),
 		watchdogBudget: DefaultWatchdogBudget,
 	}
@@ -300,6 +347,16 @@ func NewWithWorkload(cfg config.Machine, wl Workload, pol lsq.Policy, em *energy
 	for _, opt := range opts {
 		opt(s)
 	}
+	// Per-run hot storage: drawn from the caller's arena when one was
+	// supplied (reset, not freed, between runs), from a private fresh
+	// arena otherwise — either way the wheel gets its flat preallocated
+	// slot backing.
+	a := s.arena
+	if a == nil {
+		a = NewArena()
+	}
+	a.ensure(cfg.ROBSize)
+	a.attach(s)
 	if err := s.finishSoundness(); err != nil {
 		return nil, err
 	}
@@ -307,6 +364,13 @@ func NewWithWorkload(cfg config.Machine, wl Workload, pol lsq.Policy, em *energy
 	// policy's capacity gate, the concrete policy fast paths, and whether
 	// any tracing sink is attached.
 	s.loadCap = pol.LoadCapacity()
+	// Assert on s.wl, not the constructor argument: finishSoundness may have
+	// wrapped the workload (alias faults), and the wrapper must see every
+	// instruction the batch path produces.
+	if b, ok := s.wl.(Batcher); ok {
+		s.wlBatch = b
+	}
+	s.faultsActive = !s.faults.Zero()
 	switch p := pol.(type) {
 	case *lsq.CAM:
 		s.polCAM = p
@@ -341,7 +405,7 @@ func (s *Sim) initCosts() {
 // otherwise pays per operand check.
 func (s *Sim) idxOf(age uint64) int {
 	i := s.headIdx + int(age-s.headAge)
-	if n := len(s.rob); i >= n {
+	if n := len(s.robHot); i >= n {
 		i -= n
 	}
 	return i
@@ -352,8 +416,17 @@ func (s *Sim) live(age uint64) bool {
 	return s.count > 0 && age >= s.headAge && age < s.headAge+uint64(s.count)
 }
 
-// entryOf returns the ROB entry for a live age.
-func (s *Sim) entryOf(age uint64) *entry { return &s.rob[s.idxOf(age)] }
+// hotOf returns the hot ROB state for a live age.
+func (s *Sim) hotOf(age uint64) *hotEntry { return &s.robHot[s.idxOf(age)] }
+
+// memAt returns the slot's MemOp arena entry, or nil for a non-memory
+// instruction (callers that pass the pointer on must preserve nil).
+func (s *Sim) memAt(idx int) *lsq.MemOp {
+	if s.robHot[idx].flags&fHasMem == 0 {
+		return nil
+	}
+	return &s.memOps[idx]
+}
 
 // lookupProducer returns the age of the in-flight producer of a register
 // at rename time, or 0 when the value is architectural.
@@ -365,31 +438,44 @@ func (s *Sim) lookupProducer(reg int16) uint64 {
 }
 
 // srcReady reports whether the producer captured at rename time has
-// completed, checking through the captured slot pointer: the producer is
+// completed, checking through the captured slot index: the producer is
 // done when its slot was reused (it committed — a recycled age can never
 // equal prodAge, because recycling starts above every surviving consumer's
-// producer age) or when it sits completed in place. Callers pass a non-nil
-// ptr; a nil slot pointer already means ready.
-func srcReady(ptr *entry, prodAge uint64) bool {
-	return ptr.age != prodAge || ptr.state == stCompleted
+// producer age) or when it sits completed in place. Callers pass the
+// producer's hot entry; a negative slot index already means ready.
+func srcReady(h *hotEntry, prodAge uint64) bool {
+	return h.age != prodAge || h.state == stCompleted
 }
 
-// allocMemOp takes a MemOp from the free list (or the heap when empty).
-// The caller overwrites every field, so no reset happens here.
-func (s *Sim) allocMemOp() *lsq.MemOp {
-	if n := len(s.memFree); n > 0 {
-		op := s.memFree[n-1]
-		s.memFree = s.memFree[:n-1]
-		return op
+// sleepHint returns the earliest cycle a consumer blocked on producer p
+// could find it completed. An issued producer completes exactly when its
+// scheduled event fires (compCycle is rewritten on every schedule, and the
+// only stIssued entries without a live schedule are data-waiting stores,
+// which have no register consumers). A still-waiting producer was already
+// scanned earlier this cycle (the issue scan is age-ordered), so it issues
+// at cycle+1 at the earliest and completes no sooner than cycle+2. The
+// producer cannot leave the window (age recycling) before completing
+// either, so srcReady cannot flip before the returned cycle.
+// schedEnt is one issue-queue scan entry. wake is a scheduler-only sleep
+// hint: the earliest cycle a readiness recheck could possibly succeed,
+// derived from the blocking producer's known completion cycle. Skipping a
+// sleeping entry never misses an issue opportunity (srcReady cannot flip
+// before the producer's scheduled completion fires), and it keeps the scan
+// from touching the ROB line at all: a sleeping entry costs one sequential
+// 16-byte read. wake is not a behavioral constraint — squash purges filter
+// by age alone, and a stale entry that wakes is dropped by the usual
+// liveness/state checks.
+type schedEnt struct {
+	age  uint64
+	wake uint64
+}
+
+func sleepHint(p *hotEntry, cycle uint64) uint64 {
+	if p.state == stIssued {
+		return p.compCycle
 	}
-	return new(lsq.MemOp)
+	return cycle + 2
 }
-
-// freeMemOp returns a MemOp to the free list. Callers must guarantee no
-// policy or monitor still holds the pointer: commit frees after the last
-// commit-side hook has run, squash after Policy.Squash has dropped the
-// squashed suffix.
-func (s *Sim) freeMemOp(op *lsq.MemOp) { s.memFree = append(s.memFree, op) }
 
 // The pol* wrappers are the concrete fast path for the per-cycle and
 // per-commit policy calls: they branch on the two hot implementations
@@ -508,10 +594,41 @@ func (s *Sim) Run(nInsts uint64) (*Result, error) {
 // periodic soundness cadence (every few thousand cycles, keeping the
 // per-cycle loop clean), and a canceled or expired context stops the run
 // with ctx.Err() — never a watchdog or soundness error, since an
-// interrupted pipeline is not an unsound one. The Sim is left mid-cycle
-// and must not be reused after a cancellation.
+// interrupted pipeline is not an unsound one. Any error — cancellation,
+// soundness, watchdog — leaves the Sim mid-cycle, so it is poisoned:
+// every later RunContext fails fast with a *PoisonedError wrapping the
+// original failure. Incremental runs after a clean return remain fine.
 func (s *Sim) RunContext(ctx context.Context, nInsts uint64) (*Result, error) {
-	done := ctx.Done() // nil for Background/TODO: cancellation impossible
+	if s.poisoned != nil {
+		return nil, &PoisonedError{Cause: s.poisoned}
+	}
+	if s.arena != nil {
+		// Queue appends may regrow their backing arrays; hand the grown
+		// headers back so the arena's next run reuses them. Deferred so
+		// error paths reclaim too.
+		defer s.arena.reclaim(s)
+	}
+	res, err := s.runLoop(ctx, nInsts)
+	if err != nil {
+		s.poisoned = err
+	}
+	return res, err
+}
+
+// PoisonedError reports an attempt to reuse a Sim whose previous run
+// ended in an error; Cause is that original error.
+type PoisonedError struct {
+	Cause error
+}
+
+func (e *PoisonedError) Error() string {
+	return "core: sim reused after a failed run: " + e.Cause.Error()
+}
+
+func (e *PoisonedError) Unwrap() error { return e.Cause }
+
+func (s *Sim) runLoop(ctx context.Context, nInsts uint64) (*Result, error) {
+	done := ctx.Done() // nil when the context can never be canceled
 	target := s.committed + nInsts
 	for s.committed < target {
 		s.step()

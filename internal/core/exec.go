@@ -17,13 +17,18 @@ func (s *Sim) scheduleCompletion(age uint64, lat int) {
 	if lat >= wheelSize {
 		lat = wheelSize - 1
 	}
-	slot := (s.cycle + uint64(lat)) % wheelSize
-	s.wheel[slot] = append(s.wheel[slot], wheelEv{age: age, epoch: s.entryOf(age).epoch})
+	h := s.hotOf(age)
+	h.compCycle = s.cycle + uint64(lat)
+	slot := h.compCycle % wheelSize
+	s.wheel[slot] = append(s.wheel[slot], wheelEv{age: age, epoch: h.epoch})
 }
 
 // issueStage selects ready instructions oldest-first, up to the issue
 // width and functional-unit limits, and begins their execution.
 func (s *Sim) issueStage() {
+	if s.cycle < s.issueSkipUntil {
+		return // a previous scan proved nothing can issue yet
+	}
 	var (
 		issued   int
 		intALU   int
@@ -32,8 +37,14 @@ func (s *Sim) issueStage() {
 		fpMD     int
 		memPorts int
 	)
+	// allAsleep tracks whether every entry hits the sleeping fast path. If
+	// so the scan touched nothing — no ROB reads, no issue attempts, out
+	// identical to waiting — proving issueStage is a no-op until the
+	// earliest wake, so the scans until then are skipped outright.
+	allAsleep := true
+	minWake := ^uint64(0)
 	out := s.waiting[:0]
-	for i, age := range s.waiting {
+	for i, se := range s.waiting {
 		if issued >= s.cfg.IssueWidth {
 			// Width exhausted: nothing further can issue this cycle, so keep
 			// the tail wholesale instead of walking every blocked entry.
@@ -42,6 +53,17 @@ func (s *Sim) issueStage() {
 			out = append(out, s.waiting[i:]...)
 			break
 		}
+		if s.cycle < se.wake {
+			// Sleeping: the blocking producer cannot have completed yet.
+			// No ROB access at all — this is the scan's cheap path.
+			if se.wake < minWake {
+				minWake = se.wake
+			}
+			out = append(out, se)
+			continue
+		}
+		allAsleep = false
+		age := se.age
 		// Inlined live()+entryOf(): one offset computation serves both the
 		// liveness test and the slot lookup. The fields are re-read every
 		// iteration on purpose — beginExecution can trigger a replay squash
@@ -51,18 +73,18 @@ func (s *Sim) issueStage() {
 			continue // squashed
 		}
 		idx := s.headIdx + int(off)
-		if n := len(s.rob); idx >= n {
+		if n := len(s.robHot); idx >= n {
 			idx -= n
 		}
-		e := &s.rob[idx]
-		if e.state != stWaiting {
+		h := &s.robHot[idx]
+		if h.state != stWaiting {
 			continue // issued via another path
 		}
-		if s.cycle < e.notBefore {
-			out = append(out, age)
+		if s.cycle < h.notBefore {
+			out = append(out, schedEnt{age: age, wake: h.notBefore})
 			continue
 		}
-		op := e.inst.Op
+		op := h.op
 		// Functional-unit availability.
 		var fuOK bool
 		switch {
@@ -78,7 +100,7 @@ func (s *Sim) issueStage() {
 			fuOK = intALU < s.cfg.IntALUs
 		}
 		if !fuOK {
-			out = append(out, age)
+			out = append(out, schedEnt{age: age})
 			continue
 		}
 		// Operand readiness: memory ops need only the address operand to
@@ -86,35 +108,40 @@ func (s *Sim) issueStage() {
 		// Positive results clear the slot pointer so a blocked or rejected
 		// entry never re-reads a producer it already saw complete.
 		ready := true
-		if e.src1Ptr != nil {
-			if srcReady(e.src1Ptr, e.src1Prod) {
-				e.src1Ptr = nil
+		var wake uint64
+		if pi := h.src1Idx; pi >= 0 {
+			if p := &s.robHot[pi]; srcReady(p, h.src1Prod) {
+				h.src1Idx = -1
 			} else {
 				ready = false
+				wake = sleepHint(p, s.cycle)
 			}
 		}
-		if ready && !op.IsMem() && e.src2Ptr != nil {
-			if srcReady(e.src2Ptr, e.src2Prod) {
-				e.src2Ptr = nil
-			} else {
-				ready = false
+		if ready && !op.IsMem() {
+			if pi := h.src2Idx; pi >= 0 {
+				if p := &s.robHot[pi]; srcReady(p, h.src2Prod) {
+					h.src2Idx = -1
+				} else {
+					ready = false
+					wake = sleepHint(p, s.cycle)
+				}
 			}
 		}
 		if !ready {
-			out = append(out, age)
+			out = append(out, schedEnt{age: age, wake: wake})
 			continue
 		}
 		// Issue.
-		kept := s.beginExecution(e)
+		kept := s.beginExecution(idx, h)
 		if kept {
 			if s.tracing {
-				s.traceEvent("RJ", age, &e.inst, "")
+				s.traceEvent("RJ", age, &s.robData[idx].inst, "")
 			}
-			out = append(out, age)
+			out = append(out, schedEnt{age: age, wake: h.notBefore})
 			continue
 		}
 		if s.tracing {
-			s.traceEvent("IS", age, &e.inst, "")
+			s.traceEvent("IS", age, &s.robData[idx].inst, "")
 		}
 		issued++
 		switch {
@@ -132,34 +159,38 @@ func (s *Sim) issueStage() {
 		}
 	}
 	s.waiting = out
+	if allAsleep && len(out) > 0 {
+		s.issueSkipUntil = minWake
+	}
 	if s.tel != nil {
 		s.telIssued += uint64(issued)
 	}
 }
 
-// beginExecution starts one instruction. It returns true when the op must
-// stay in the issue queue (a rejected load).
-func (s *Sim) beginExecution(e *entry) bool {
-	op := e.inst.Op
+// beginExecution starts the instruction in ROB slot idx (h is its hot
+// state). It returns true when the op must stay in the issue queue (a
+// rejected load).
+func (s *Sim) beginExecution(idx int, h *hotEntry) bool {
+	op := h.op
 	s.em.Add(energy.CompIQ, s.costIQ)
 	s.em.Add(energy.CompRegfile, 2*s.costRegfile)
 	switch {
 	case op.IsLoad():
-		return s.issueLoad(e)
+		return s.issueLoad(idx, h)
 	case op.IsStore():
-		s.issueStore(e)
+		s.issueStore(idx, h)
 	default:
 		s.em.Add(energy.CompALU, s.costALU)
-		e.state = stIssued
-		s.scheduleCompletion(e.age, op.Latency())
-		s.leaveIQ(e)
+		h.state = stIssued
+		s.scheduleCompletion(h.age, op.Latency())
+		s.leaveIQ(op)
 	}
 	return false
 }
 
-// leaveIQ frees the instruction's issue-queue slot.
-func (s *Sim) leaveIQ(e *entry) {
-	if e.inst.Op.IsFP() {
+// leaveIQ frees an issue-queue slot of the op's cluster.
+func (s *Sim) leaveIQ(op isa.Op) {
+	if op.IsFP() {
 		s.iqFP--
 	} else {
 		s.iqInt--
@@ -169,8 +200,8 @@ func (s *Sim) leaveIQ(e *entry) {
 // issueLoad executes a load: it searches the store queue for forwarding or
 // rejection, then accesses the data cache. Returns true if the load was
 // rejected and must retry.
-func (s *Sim) issueLoad(e *entry) bool {
-	in := &e.inst
+func (s *Sim) issueLoad(idx int, h *hotEntry) bool {
+	mem := &s.memOps[idx]
 	var (
 		match      *sqEntry // youngest older store with resolved overlapping address
 		unresolved bool     // any older store with unresolved address
@@ -178,7 +209,7 @@ func (s *Sim) issueLoad(e *entry) bool {
 	// Store-side age filter: a load older than the oldest in-flight store
 	// provably has nothing to forward from or wait on, so the associative
 	// SQ search is skipped (Section 3, "Filtering for stores").
-	if s.sqFilter && (len(s.sq) == 0 || e.age < s.sq[0].age) {
+	if s.sqFilter && (len(s.sq) == 0 || h.age < s.sq[0].age) {
 		s.sqSearchFiltered++
 		s.em.Add(energy.CompYLA, energy.RegisterOp(20))
 	} else {
@@ -187,38 +218,37 @@ func (s *Sim) issueLoad(e *entry) bool {
 		s.em.Add(energy.CompSQ, s.costSQSearch)
 		for i := range s.sq {
 			st := &s.sq[i]
-			if st.age >= e.age {
+			if st.age >= h.age {
 				break // SQ is age-ordered
 			}
 			if !st.addrResolved {
 				unresolved = true
 				continue
 			}
-			if isa.Overlap(in.Addr, in.Size, st.addr, st.size) {
+			if isa.Overlap(mem.Addr, mem.Size, st.addr, st.size) {
 				match = st // keep youngest (list is ascending)
 			}
 		}
 	}
 	if match != nil {
-		if !isa.Contains(match.addr, match.size, in.Addr, in.Size) {
+		if !isa.Contains(match.addr, match.size, mem.Addr, mem.Size) {
 			// Partial match: the SQ cannot assemble the value; reject and
 			// retry until the store drains.
 			s.loadRejections++
-			e.notBefore = s.cycle + 4
+			h.notBefore = s.cycle + 4
 			return true
 		}
 		if !match.dataReady {
 			// Address matches but the store's data is not ready: the SQ
 			// rejects the load to retry later (POWER4-style, footnote 1).
 			s.loadRejections++
-			e.notBefore = s.cycle + 4
+			h.notBefore = s.cycle + 4
 			return true
 		}
 	}
 	// The load issues now.
-	e.state = stIssued
-	s.leaveIQ(e)
-	mem := e.mem
+	h.state = stIssued
+	s.leaveIQ(h.op)
 	mem.Issued = true
 	mem.IssueCycle = s.cycle
 	mem.SafeAtIssue = !unresolved
@@ -230,18 +260,18 @@ func (s *Sim) issueLoad(e *entry) bool {
 		lat = s.cfg.Memory.L1D.Latency // forwarding takes an L1-hit-like time
 	} else {
 		s.em.Add(energy.CompL1D, s.costL1D)
-		lat = s.mem.L1D.Access(in.Addr, false)
+		lat = s.mem.L1D.Access(mem.Addr, false)
 		if lat > s.cfg.Memory.L1D.Latency {
 			s.em.Add(energy.CompL2, s.costL2)
 		}
 	}
-	s.scheduleCompletion(e.age, lat)
+	s.scheduleCompletion(h.age, lat)
 	s.polLoadIssue(mem)
 	for _, m := range s.monitors {
 		m.LoadIssue(mem)
 	}
 	if s.oracle != nil {
-		s.oracle.LoadIssued(e.age, s.cycle)
+		s.oracle.LoadIssued(h.age, s.cycle)
 	}
 	return false
 }
@@ -249,15 +279,15 @@ func (s *Sim) issueLoad(e *entry) bool {
 // issueStore resolves the store's address: the SQ entry is updated, the
 // policy runs its dependence check (the baseline may demand a replay), and
 // the store completes once its data operand is also ready.
-func (s *Sim) issueStore(e *entry) {
-	e.state = stIssued
-	s.leaveIQ(e)
-	e.addrResolved = true
-	if st := s.sqFind(e.age); st != nil {
+func (s *Sim) issueStore(idx int, h *hotEntry) {
+	h.state = stIssued
+	s.leaveIQ(h.op)
+	h.flags |= fAddrResolved
+	if st := s.sqFind(h.age); st != nil {
 		st.addrResolved = true
 	}
 	s.em.Add(energy.CompSQ, s.costSQWrite)
-	mem := e.mem
+	mem := &s.memOps[idx]
 	mem.ResolveCycle = s.cycle
 	for _, m := range s.monitors {
 		m.StoreResolve(mem)
@@ -266,13 +296,13 @@ func (s *Sim) issueStore(e *entry) {
 		s.replay(r)
 		// The store itself is older than the replay point and survives.
 	}
-	if e.src2Ptr == nil || srcReady(e.src2Ptr, e.src2Prod) {
-		e.src2Ptr = nil
-		e.dataReady = true
-		s.markStoreDataReady(e.age)
-		s.scheduleCompletion(e.age, 1)
+	if h.src2Idx < 0 || srcReady(&s.robHot[h.src2Idx], h.src2Prod) {
+		h.src2Idx = -1
+		h.flags |= fDataReady
+		s.markStoreDataReady(h.age)
+		s.scheduleCompletion(h.age, 1)
 	} else {
-		s.dataWait = append(s.dataWait, wheelEv{age: e.age, epoch: e.epoch})
+		s.dataWait = append(s.dataWait, wheelEv{age: h.age, epoch: h.epoch})
 	}
 }
 
@@ -312,13 +342,13 @@ func (s *Sim) completeStage() {
 			if !s.live(ev.age) {
 				continue
 			}
-			e := s.entryOf(ev.age)
-			if e.epoch != ev.epoch || e.dataReady {
+			h := s.hotOf(ev.age)
+			if h.epoch != ev.epoch || h.flags&fDataReady != 0 {
 				continue
 			}
-			if e.src2Ptr == nil || srcReady(e.src2Ptr, e.src2Prod) {
-				e.src2Ptr = nil
-				e.dataReady = true
+			if h.src2Idx < 0 || srcReady(&s.robHot[h.src2Idx], h.src2Prod) {
+				h.src2Idx = -1
+				h.flags |= fDataReady
 				s.markStoreDataReady(ev.age)
 				s.scheduleCompletion(ev.age, 1)
 				continue
@@ -337,25 +367,26 @@ func (s *Sim) completeStage() {
 		if !s.live(ev.age) {
 			continue // squashed while in flight
 		}
-		e := s.entryOf(ev.age)
-		if e.epoch != ev.epoch {
+		idx := s.idxOf(ev.age)
+		h := &s.robHot[idx]
+		if h.epoch != ev.epoch {
 			continue // stale event for a recycled age
 		}
-		if e.state != stIssued {
+		if h.state != stIssued {
 			continue
 		}
-		if e.inst.Op.IsStore() && !(e.addrResolved && e.dataReady) {
+		if h.op.IsStore() && h.flags&(fAddrResolved|fDataReady) != fAddrResolved|fDataReady {
 			continue // premature event (data arrived separately)
 		}
-		e.state = stCompleted
+		h.state = stCompleted
 		if s.tracing {
-			s.traceEvent("CP", e.age, &e.inst, "")
+			s.traceEvent("CP", h.age, &s.robData[idx].inst, "")
 		}
-		if e.inst.HasDest() {
+		if h.flags&fHasDest != 0 {
 			s.em.Add(energy.CompRegfile, s.costRegfile)
 		}
-		if e.inst.Op.IsBranch() {
-			s.resolveBranch(e)
+		if h.op.IsBranch() {
+			s.resolveBranch(h, &s.robData[idx])
 		}
 	}
 }
@@ -363,21 +394,23 @@ func (s *Sim) completeStage() {
 // resolveBranch trains the predictor and, for mispredicted correct-path
 // branches, performs recovery: squash younger instructions, restore the
 // speculative history, clamp the YLA registers, and redirect fetch.
-func (s *Sim) resolveBranch(e *entry) {
-	if !e.predicted {
+func (s *Sim) resolveBranch(h *hotEntry, d *robData) {
+	if !d.predicted {
 		return // wrong-path branch: no training, no recovery
 	}
-	s.bp.Update(e.inst.PC, e.pred, e.inst.Taken, e.inst.Target)
-	if !e.mispredicted {
+	s.bp.Update(d.inst.PC, d.pred, d.inst.Taken, d.inst.Target)
+	if !d.mispredicted {
 		return
 	}
 	s.mispredictRecoveries++
-	s.traceMark("REC", fmt.Sprintf("branch age=%d mispredicted, squashing younger", e.age))
-	s.squashAfter(e.age, false)
-	s.bp.RestoreHistory(e.histCp, e.inst.Taken)
-	s.pol.Recover(e.age)
+	if s.tracing {
+		s.traceMark("REC", fmt.Sprintf("branch age=%d mispredicted, squashing younger", h.age))
+	}
+	s.squashAfter(h.age, false)
+	s.bp.RestoreHistory(d.histCp, d.inst.Taken)
+	s.pol.Recover(h.age)
 	for _, m := range s.monitors {
-		m.Recover(e.age)
+		m.Recover(h.age)
 	}
 	s.wpActive = false
 	s.wpStream = nil

@@ -35,40 +35,93 @@ func (s *Sim) fetchStage() {
 		return
 	}
 	fetched := 0
-	for i := 0; i < s.cfg.FetchWidth && s.fetchQLen() < s.fetchQCap(); i++ {
-		// Reserve the queue slot first and fill it in place: building the
-		// instruction in a local and appending would copy ~100 bytes twice,
-		// and taking the local's address for tracing would force a heap
-		// allocation per fetched instruction (the dominant allocation site
-		// before pooling).
-		s.fetchQ = append(s.fetchQ, fetchedInst{})
-		qi := &s.fetchQ[len(s.fetchQ)-1]
-		if !s.nextFetch(qi) {
-			s.fetchQ = s.fetchQ[:len(s.fetchQ)-1]
+	for fetched < s.cfg.FetchWidth && s.fetchQLen() < s.fetchQCap() {
+		if s.wpActive || s.rqHead < len(s.replayQ) || s.wlBatch == nil {
+			// Single-instruction sources: the wrong-path stream, the replay
+			// queue, or a workload without batch support. Reserve the queue
+			// slot first and fill it in place — building the instruction in
+			// a local and appending would copy ~100 bytes twice.
+			base := len(s.fetchQ)
+			s.fetchQ = append(s.fetchQ, isa.Inst{})
+			s.fetchQMeta = append(s.fetchQMeta, fetchMeta{})
+			if !s.nextFetch(&s.fetchQ[base], &s.fetchQMeta[base]) {
+				s.fetchQ = s.fetchQ[:base]
+				s.fetchQMeta = s.fetchQMeta[:base]
+				break
+			}
+			fetched++
+			if s.postFetch(base) {
+				break
+			}
+			continue
+		}
+		// Committed-path generator with batch support: generate up to a
+		// fetch group directly into the fetch-queue slots. A batch never
+		// crosses a branch (see Batcher), so prediction-driven redirects
+		// can only fire on a batch's last instruction and pre-generated
+		// state never outruns the front end.
+		room := s.cfg.FetchWidth - fetched
+		if q := s.fetchQCap() - s.fetchQLen(); q < room {
+			room = q
+		}
+		base := len(s.fetchQ)
+		if cap(s.fetchQ) >= base+room {
+			s.fetchQ = s.fetchQ[:base+room]
+		} else {
+			s.fetchQ = append(s.fetchQ, make([]isa.Inst, room)...)
+		}
+		n := s.wlBatch.NextBatch(s.fetchQ[base : base+room])
+		s.fetchQ = s.fetchQ[:base+n]
+		if cap(s.fetchQMeta) >= base+n {
+			s.fetchQMeta = s.fetchQMeta[:base+n]
+		} else {
+			s.fetchQMeta = append(s.fetchQMeta[:base], make([]fetchMeta, n)...)
+		}
+		brk := false
+		for j := base; j < base+n; j++ {
+			in := &s.fetchQ[j]
+			s.lastGenPC = in.PC + 4
+			s.fetchQMeta[j] = fetchMeta{}
+			s.decorate(&s.fetchQMeta[j], in)
+			fetched++
+			if s.postFetch(j) {
+				brk = true
+				break
+			}
+		}
+		if brk {
 			break
-		}
-		fetched++
-		if s.tracing {
-			wp := ""
-			if qi.wrongPath {
-				wp = "(wrong-path)"
-			}
-			s.traceEvent("FE", 0, &qi.inst, wp)
-		}
-		if qi.inst.Op.IsBranch() {
-			// Fetch break after any predicted-taken (or wrong-path taken)
-			// branch: the front end redirects next cycle.
-			if (qi.predicted && qi.pred.Taken) || (!qi.predicted && qi.inst.Taken) {
-				break
-			}
-			if qi.mispred {
-				break
-			}
 		}
 	}
 	if s.tel != nil {
 		s.telFetched += uint64(fetched)
 	}
+}
+
+// postFetch traces the newly fetched instruction in slot j and reports
+// whether fetch must break for the cycle (redirect after a taken or
+// mispredicted branch).
+func (s *Sim) postFetch(j int) bool {
+	in := &s.fetchQ[j]
+	mi := &s.fetchQMeta[j]
+	if s.tracing {
+		wp := ""
+		if mi.wrongPath {
+			wp = "(wrong-path)"
+		}
+		s.traceEvent("FE", 0, in, wp)
+	}
+	if in.Op.IsBranch() {
+		// Fetch break after any predicted-taken (or wrong-path taken)
+		// branch: the front end redirects next cycle.
+		if (mi.predicted && mi.pred.Taken) || (!mi.predicted && in.Taken) {
+			return true
+		}
+		if mi.mispred {
+			return true
+		}
+	}
+	return false
 }
 
 // peekPC returns the PC fetch would read this cycle. Wrong-path mode has
@@ -91,27 +144,27 @@ func (s *Sim) peekPC() (uint64, bool) {
 	}
 }
 
-// nextFetch fills fi (a zeroed fetch-queue slot) with the next instruction
-// from the active fetch source, running branch prediction for correct-path
-// branches. It reports whether an instruction was produced.
-func (s *Sim) nextFetch(fi *fetchedInst) bool {
+// nextFetch fills the zeroed fetch-queue slot (in, mi) with the next
+// instruction from the active fetch source, running branch prediction for
+// correct-path branches. It reports whether an instruction was produced.
+func (s *Sim) nextFetch(in *isa.Inst, mi *fetchMeta) bool {
 	switch {
 	case s.wpActive:
 		if s.wpStream == nil {
 			return false
 		}
-		in := s.wpStream.Next()
+		*in = s.wpStream.Next()
 		s.lastWPPC = in.PC + 4
 		s.wrongPathFetched++
 		// Wrong-path instructions are not predicted: their branch fields
 		// already carry the stream's guessed direction.
-		fi.inst = in
-		fi.wrongPath = true
+		mi.wrongPath = true
 		return true
 	case s.rqHead < len(s.replayQ):
 		// Pop from the head index: the old copy-shift made draining an
 		// n-entry replay queue O(n²) after every big squash.
-		s.decorate(fi, s.replayQ[s.rqHead])
+		*in = s.replayQ[s.rqHead]
+		s.decorate(mi, in)
 		s.rqHead++
 		if s.rqHead == len(s.replayQ) {
 			s.replayQ = s.replayQ[:0]
@@ -119,35 +172,34 @@ func (s *Sim) nextFetch(fi *fetchedInst) bool {
 		}
 		return true
 	default:
-		in := s.wl.Next()
+		*in = s.wl.Next()
 		s.lastGenPC = in.PC + 4
-		s.decorate(fi, in)
+		s.decorate(mi, in)
 		return true
 	}
 }
 
-// decorate fills fi with in, runs branch prediction on a correct-path
-// instruction and, on a misprediction, switches fetch to the wrong path.
-func (s *Sim) decorate(fi *fetchedInst, in isa.Inst) {
-	fi.inst = in
+// decorate runs branch prediction on the correct-path instruction in and,
+// on a misprediction, switches fetch to the wrong path.
+func (s *Sim) decorate(mi *fetchMeta, in *isa.Inst) {
 	if !in.Op.IsBranch() {
 		return
 	}
-	fi.histCp = s.bp.HistoryCheckpoint()
-	fi.pred = s.bp.Predict(in.PC)
-	fi.predicted = true
+	mi.histCp = s.bp.HistoryCheckpoint()
+	mi.pred = s.bp.Predict(in.PC)
+	mi.predicted = true
 	s.em.Add(energy.CompBPred, s.costBPred)
-	mispredicted := fi.pred.Taken != in.Taken || (in.Taken && !fi.pred.BTBHit)
+	mispredicted := mi.pred.Taken != in.Taken || (in.Taken && !mi.pred.BTBHit)
 	if mispredicted {
-		fi.mispred = true
+		mi.mispred = true
 		s.wpActive = true
 		s.fetchSalt++
-		if fi.pred.Taken && !fi.pred.BTBHit {
+		if mi.pred.Taken && !mi.pred.BTBHit {
 			// Direction says taken but no target: the front end stalls
 			// until the branch resolves.
 			s.wpStream = nil
 		} else {
-			s.wpStream = s.wl.WrongPath(in.PC, fi.pred.Taken, s.fetchSalt)
+			s.wpStream = s.wl.WrongPath(in.PC, mi.pred.Taken, s.fetchSalt)
 			if s.wpStream != nil {
 				s.lastWPPC = in.PC + 4
 			}
@@ -160,12 +212,11 @@ func (s *Sim) decorate(fi *fetchedInst, in isa.Inst) {
 func (s *Sim) dispatchStage() {
 	width := s.cfg.FetchWidth
 	for n := 0; n < width && s.fetchQLen() > 0; n++ {
-		fi := &s.fetchQ[s.fqHead]
-		if s.count >= len(s.rob) {
+		if s.count >= len(s.robHot) {
 			s.dispatchHazard(telemetry.HazROBFull)
 			return // ROB full
 		}
-		in := &fi.inst
+		in := &s.fetchQ[s.fqHead]
 		// Issue-queue space by cluster.
 		fp := in.Op.IsFP()
 		if fp && s.iqFP >= s.cfg.IQFP {
@@ -201,16 +252,19 @@ func (s *Sim) dispatchStage() {
 			s.dispatchHazard(telemetry.HazSQFull)
 			return
 		}
-		s.insert(fi)
+		s.insert(in, &s.fetchQMeta[s.fqHead])
 		s.fqHead++
 		if s.fqHead == len(s.fetchQ) {
 			s.fetchQ = s.fetchQ[:0]
+			s.fetchQMeta = s.fetchQMeta[:0]
 			s.fqHead = 0
 		} else if s.fqHead >= 4*s.fetchQCap() {
 			// The queue rarely drains fully under a steady front end; compact
 			// occasionally so the backing array stays a few fetch groups long.
-			n := copy(s.fetchQ, s.fetchQ[s.fqHead:])
-			s.fetchQ = s.fetchQ[:n]
+			k := copy(s.fetchQ, s.fetchQ[s.fqHead:])
+			copy(s.fetchQMeta, s.fetchQMeta[s.fqHead:])
+			s.fetchQ = s.fetchQ[:k]
+			s.fetchQMeta = s.fetchQMeta[:k]
 			s.fqHead = 0
 		}
 	}
@@ -218,68 +272,73 @@ func (s *Sim) dispatchStage() {
 
 // insert allocates the ROB entry and all side structures for one
 // instruction.
-func (s *Sim) insert(fi *fetchedInst) {
+func (s *Sim) insert(in *isa.Inst, mi *fetchMeta) {
 	age := s.nextAge
 	s.nextAge++
 	idx := s.headIdx + s.count
-	if idx >= len(s.rob) {
-		idx -= len(s.rob)
+	if idx >= len(s.robHot) {
+		idx -= len(s.robHot)
 	}
 	s.count++
-	e := &s.rob[idx]
+	h := &s.robHot[idx]
 	// Field-by-field reset of the recycled slot: a composite literal here is
-	// built in a temporary and copied in (~150B duffcopy per dispatch). Every
-	// field must be written or explicitly zeroed.
-	e.age = age
-	e.notBefore = 0
-	e.src1Prod = s.lookupProducer(fi.inst.Src1)
-	e.src2Prod = s.lookupProducer(fi.inst.Src2)
-	e.src1Ptr = nil
-	e.src2Ptr = nil
-	e.mem = nil
-	e.epoch = s.epoch
-	e.state = stWaiting
-	e.wrongPath = fi.wrongPath
-	e.addrResolved = false
-	e.dataReady = false
-	e.inst = fi.inst
-	e.pred = fi.pred
-	e.histCp = fi.histCp
-	e.mispredicted = fi.mispred
-	e.predicted = fi.predicted
-	if p := e.src1Prod; p != 0 {
-		e.src1Ptr = s.entryOf(p)
+	// built in a temporary and copied in. Every field must be written or
+	// explicitly zeroed.
+	h.age = age
+	h.notBefore = 0
+	h.compCycle = 0
+	h.src1Prod = s.lookupProducer(in.Src1)
+	h.src2Prod = s.lookupProducer(in.Src2)
+	h.src1Idx = -1
+	h.src2Idx = -1
+	h.epoch = s.epoch
+	h.state = stWaiting
+	h.flags = 0
+	if mi.wrongPath {
+		h.flags = fWrongPath
 	}
-	if p := e.src2Prod; p != 0 {
-		e.src2Ptr = s.entryOf(p)
+	if in.HasDest() {
+		h.flags |= fHasDest
 	}
-	if fi.mispred {
+	h.op = in.Op
+	d := &s.robData[idx]
+	d.inst = *in
+	d.pred = mi.pred
+	d.histCp = mi.histCp
+	d.mispredicted = mi.mispred
+	d.predicted = mi.predicted
+	if p := h.src1Prod; p != 0 {
+		h.src1Idx = int32(s.idxOf(p))
+	}
+	if p := h.src2Prod; p != 0 {
+		h.src2Idx = int32(s.idxOf(p))
+	}
+	if mi.mispred {
 		s.wpBranchAge = age
 	}
 	if s.tracing {
-		s.traceEvent("DI", age, &fi.inst, "")
+		s.traceEvent("DI", age, in, "")
 	}
 	s.em.Add(energy.CompROB, s.costROB)
 	s.em.Add(energy.CompRename, s.costRename)
-	in := &fi.inst
 	if in.Op.IsMem() {
-		m := s.allocMemOp()
+		h.flags |= fHasMem
+		m := &s.memOps[idx]
 		*m = lsq.MemOp{
 			Age:       age,
 			IsLoad:    in.Op.IsLoad(),
 			Addr:      in.Addr,
 			Size:      in.Size,
-			WrongPath: fi.wrongPath,
+			WrongPath: mi.wrongPath,
 		}
-		e.mem = m
 		if in.Op.IsLoad() {
 			s.inflightLoads++
-			s.polLoadDispatch(e.mem)
+			s.polLoadDispatch(m)
 		} else {
 			s.sq = append(s.sq, sqEntry{age: age, seq: in.Seq, addr: in.Addr, size: in.Size})
 			s.em.Add(energy.CompSQ, s.costSQWrite)
-			for _, m := range s.monitors {
-				m.StoreDispatch(e.mem)
+			for _, mon := range s.monitors {
+				mon.StoreDispatch(m)
 			}
 		}
 	}
@@ -297,8 +356,9 @@ func (s *Sim) insert(fi *fetchedInst) {
 	} else {
 		s.iqInt++
 	}
-	s.waiting = append(s.waiting, age)
-	if !s.faults.Zero() {
-		s.applyDispatchFaults(e)
+	s.waiting = append(s.waiting, schedEnt{age: age})
+	s.issueSkipUntil = 0 // a wake-0 entry invalidates any proven skip
+	if s.faultsActive {
+		s.applyDispatchFaults(idx)
 	}
 }

@@ -7,32 +7,45 @@ import "fmt"
 // to catch bookkeeping drift (counter leaks, ordering violations) close to
 // where it happens rather than as mysterious end-state corruption.
 func (s *Sim) CheckInvariants() error {
-	if s.count < 0 || s.count > len(s.rob) {
+	if s.count < 0 || s.count > len(s.robHot) {
 		return fmt.Errorf("rob count %d out of range", s.count)
+	}
+	if len(s.robHot) != len(s.robData) || len(s.robHot) != len(s.memOps) {
+		return fmt.Errorf("struct-of-arrays length mismatch: hot %d, data %d, memops %d",
+			len(s.robHot), len(s.robData), len(s.memOps))
 	}
 	var iqInt, iqFP, loads, stores int
 	prevAge := uint64(0)
 	for k := 0; k < s.count; k++ {
-		e := &s.rob[(s.headIdx+k)%len(s.rob)]
+		idx := (s.headIdx + k) % len(s.robHot)
+		h := &s.robHot[idx]
+		d := &s.robData[idx]
 		wantAge := s.headAge + uint64(k)
-		if e.age != wantAge {
-			return fmt.Errorf("rob ages not contiguous: slot %d has age %d, want %d", k, e.age, wantAge)
+		if h.age != wantAge {
+			return fmt.Errorf("rob ages not contiguous: slot %d has age %d, want %d", k, h.age, wantAge)
 		}
-		if e.age <= prevAge && k > 0 {
+		if h.age <= prevAge && k > 0 {
 			return fmt.Errorf("rob ages not increasing at slot %d", k)
 		}
-		prevAge = e.age
-		if e.state == stWaiting {
-			if e.inst.Op.IsFP() {
+		prevAge = h.age
+		if h.op != d.inst.Op {
+			return fmt.Errorf("hot op desynced at slot %d: hot %v, inst %v", k, h.op, d.inst.Op)
+		}
+		if h.flags&fHasMem != 0 && s.memOps[idx].Age != h.age {
+			return fmt.Errorf("memop arena desynced at slot %d: memop age %d, rob age %d",
+				k, s.memOps[idx].Age, h.age)
+		}
+		if h.state == stWaiting {
+			if h.op.IsFP() {
 				iqFP++
 			} else {
 				iqInt++
 			}
 		}
 		switch {
-		case e.inst.Op.IsLoad():
+		case h.op.IsLoad():
 			loads++
-		case e.inst.Op.IsStore():
+		case h.op.IsStore():
 			stores++
 		}
 	}
@@ -55,16 +68,16 @@ func (s *Sim) CheckInvariants() error {
 		if !s.live(sq.age) {
 			return fmt.Errorf("store queue holds dead age %d", sq.age)
 		}
-		if !s.entryOf(sq.age).inst.Op.IsStore() {
+		if !s.hotOf(sq.age).op.IsStore() {
 			return fmt.Errorf("store queue entry %d maps to a non-store", sq.age)
 		}
 	}
 	// Physical-register accounting: free + in-flight destinations = pool.
 	var intDests, fpDests int
 	for k := 0; k < s.count; k++ {
-		e := &s.rob[(s.headIdx+k)%len(s.rob)]
-		if e.inst.HasDest() {
-			if e.inst.Dest >= 32 { // FP register file
+		idx := (s.headIdx + k) % len(s.robHot)
+		if s.robHot[idx].flags&fHasDest != 0 {
+			if s.robData[idx].inst.Dest >= 32 { // FP register file
 				fpDests++
 			} else {
 				intDests++
@@ -81,6 +94,9 @@ func (s *Sim) CheckInvariants() error {
 	}
 	if s.fetchQLen() > s.fetchQCap() {
 		return fmt.Errorf("fetch queue overflow: %d > %d", s.fetchQLen(), s.fetchQCap())
+	}
+	if len(s.fetchQ) != len(s.fetchQMeta) {
+		return fmt.Errorf("fetch queue desynced: %d insts, %d metas", len(s.fetchQ), len(s.fetchQMeta))
 	}
 	if s.fqHead < 0 || s.fqHead > len(s.fetchQ) || s.rqHead < 0 || s.rqHead > len(s.replayQ) {
 		return fmt.Errorf("queue head out of range: fetch %d/%d, replay %d/%d",

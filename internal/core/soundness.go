@@ -113,6 +113,26 @@ func (w *aliasWorkload) Next() isa.Inst {
 	return in
 }
 
+// NextBatch keeps the batched fetch path available under alias faults: the
+// inner workload fills the slots, then every memory address is remapped
+// exactly as Next would have.
+func (w *aliasWorkload) NextBatch(dst []isa.Inst) int {
+	b, ok := w.wl.(Batcher)
+	if !ok {
+		dst[0] = w.Next()
+		return 1
+	}
+	n := b.NextBatch(dst)
+	if w.spec.AliasBytes > 0 {
+		for i := 0; i < n; i++ {
+			if dst[i].Op.IsMem() {
+				dst[i].Addr = soundness.RemapAddr(soundness.AliasBase, dst[i].Addr, w.spec.AliasBytes)
+			}
+		}
+	}
+	return n
+}
+
 func (w *aliasWorkload) WrongPath(branchPC uint64, taken bool, salt uint64) InstSource {
 	ws := w.wl.WrongPath(branchPC, taken, salt)
 	if ws == nil || w.spec.WPAliasBytes == 0 {
@@ -149,24 +169,26 @@ func (a *aliasSource) Next() isa.Inst {
 // applyDispatchFaults perturbs one just-dispatched instruction according to
 // the fault spec: delayed store-address resolution and forced wrong-path
 // marking. Called from insert only when a fault campaign is active.
-func (s *Sim) applyDispatchFaults(e *entry) {
+func (s *Sim) applyDispatchFaults(idx int) {
 	f := &s.faults
-	if f.StoreDelayEvery > 0 && e.inst.Op.IsStore() && !e.wrongPath {
+	h := &s.robHot[idx]
+	d := &s.robData[idx]
+	if f.StoreDelayEvery > 0 && h.op.IsStore() && !h.wrongPath() {
 		s.storeSeen++
 		if s.storeSeen%f.StoreDelayEvery == 0 {
-			e.notBefore = s.cycle + f.StoreDelay
+			h.notBefore = s.cycle + f.StoreDelay
 			s.faultsInjected++
-			s.traceEvent("FLT", e.age, &e.inst, fmt.Sprintf("store-resolve delayed %d cycles", f.StoreDelay))
+			s.traceEvent("FLT", h.age, &d.inst, fmt.Sprintf("store-resolve delayed %d cycles", f.StoreDelay))
 		}
 	}
-	if f.MarkWPAge > 0 && !s.markedWP && e.age >= f.MarkWPAge && !e.wrongPath && !e.inst.Op.IsBranch() {
+	if f.MarkWPAge > 0 && !s.markedWP && h.age >= f.MarkWPAge && !h.wrongPath() && !h.op.IsBranch() {
 		s.markedWP = true
 		// A corruption no real event produces: the entry is poisoned in the
 		// ROB while its MemOp stays correct-path. It must be caught at the
 		// head as a wrong-path-commit soundness error.
-		e.wrongPath = true
+		h.flags |= fWrongPath
 		s.faultsInjected++
-		s.traceEvent("FLT", e.age, &e.inst, "forcibly marked wrong-path")
+		s.traceEvent("FLT", h.age, &d.inst, "forcibly marked wrong-path")
 	}
 }
 
@@ -204,7 +226,7 @@ func (s *Sim) stateDump() *soundness.StateDump {
 		LastCommitCycle: s.lastCommitCycle,
 		HeadAge:         s.headAge,
 		ROBCount:        s.count,
-		ROBSize:         len(s.rob),
+		ROBSize:         len(s.robHot),
 		IQInt:           s.iqInt,
 		IQFP:            s.iqFP,
 		SQLen:           len(s.sq),
@@ -221,13 +243,14 @@ func (s *Sim) stateDump() *soundness.StateDump {
 		n = soundness.DumpROBWindow
 	}
 	for k := 0; k < n; k++ {
-		e := &s.rob[(s.headIdx+k)%len(s.rob)]
+		idx := (s.headIdx + k) % len(s.robHot)
+		h := &s.robHot[idx]
 		d.ROB = append(d.ROB, soundness.ROBSlot{
-			Age:       e.age,
-			State:     stateName(e.state),
-			WrongPath: e.wrongPath,
-			NotBefore: e.notBefore,
-			Inst:      e.inst.String(),
+			Age:       h.age,
+			State:     stateName(h.state),
+			WrongPath: h.wrongPath(),
+			NotBefore: h.notBefore,
+			Inst:      s.robData[idx].inst.String(),
 		})
 	}
 	ps := stats.NewSet()

@@ -66,7 +66,7 @@ func (s *Sim) classifyStall() telemetry.StallCause {
 	if s.count == 0 {
 		return telemetry.StallFetchStarve
 	}
-	op := s.rob[s.headIdx].inst.Op
+	op := s.robHot[s.headIdx].op
 	switch {
 	case op.IsLoad():
 		return telemetry.StallLoadMiss

@@ -37,6 +37,17 @@ type Workload interface {
 	Meta() WorkloadMeta
 }
 
+// Batcher is an optional Workload refinement. NextBatch fills dst with
+// consecutive committed-path instructions and returns how many were
+// written (at least 1 for a non-empty dst). Implementations MUST stop
+// after emitting a branch: wrong-path streams read the workload's
+// internal register/address state lazily, so generating past a branch
+// that may mispredict would let that state run ahead of the machine and
+// change the wrong-path instruction content.
+type Batcher interface {
+	NextBatch(dst []isa.Inst) int
+}
+
 // generatorWorkload adapts trace.Generator to the Workload interface.
 type generatorWorkload struct {
 	g *trace.Generator
@@ -53,6 +64,8 @@ func FromGenerator(g *trace.Generator) Workload {
 }
 
 func (w generatorWorkload) Next() isa.Inst { return w.g.Next() }
+
+func (w generatorWorkload) NextBatch(dst []isa.Inst) int { return w.g.NextBatch(dst) }
 
 func (w generatorWorkload) WrongPath(branchPC uint64, taken bool, salt uint64) InstSource {
 	ws := w.g.WrongPath(branchPC, taken, salt)

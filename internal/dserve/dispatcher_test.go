@@ -297,3 +297,72 @@ func TestDispatcherCancellation(t *testing.T) {
 		t.Fatalf("cancellation took %s", elapsed)
 	}
 }
+
+// TestDispatcherHedgeRaceStress pins the audited hedge interleavings
+// under the race detector (run via `go test -race`, as `make check`
+// does): many concurrent distinct jobs over jittery backends force every
+// ordering — hedge fires and loses, hedge fires and wins, primary and
+// hedge finish back-to-back, caller cancellation mid-hedge — while the
+// winner's cancel races the loser's release. The prior audit found no
+// data race; this keeps it that way.
+func TestDispatcherHedgeRaceStress(t *testing.T) {
+	t.Parallel()
+	backends := []experiments.Backend{
+		newStub("b0", 2*time.Millisecond, 0),
+		newStub("b1", 100*time.Microsecond, 0),
+		newStub("b2", 4*time.Millisecond, 0),
+	}
+	d, err := NewDispatcher(DispatcherConfig{
+		Backends:           backends,
+		HedgeAfter:         500 * time.Microsecond,
+		PerBackendInflight: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const callers = 24
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			ctx := context.Background()
+			if i%6 == 5 {
+				// A slice of callers cancels mid-flight, racing the
+				// hedge timer and both attempts' completions.
+				c, cancel := context.WithTimeout(ctx, time.Duration(i)*200*time.Microsecond)
+				defer cancel()
+				ctx = c
+			}
+			res, err := d.Run(ctx, dspec(i))
+			if err != nil {
+				if ctx.Err() != nil {
+					return // scripted cancellation
+				}
+				t.Errorf("Run(%d): %v", i, err)
+				return
+			}
+			if res == nil {
+				t.Errorf("Run(%d): nil result without error", i)
+			}
+		}(i)
+	}
+	wg.Wait()
+	// Every slot must be released once the dust settles: acquire/release
+	// pairing is exactly what the winner-cancels-loser path could break.
+	// Losing attempts release from their own goroutines, so poll briefly.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		held := 0
+		for i := range d.slots {
+			held += len(d.slots[i])
+		}
+		if held == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("%d slots still held after all runs returned", held)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -113,10 +113,15 @@ func (a *AgeTable) LoadIssue(op *MemOp) {
 	bm := isa.QuadWordBitmap(op.Addr, op.Size)
 	if op.Age > e.age {
 		e.age = op.Age
-		e.bitmap = bm
-	} else {
-		e.bitmap |= bm
 	}
+	// The bitmap always accumulates: the entry's age is only the youngest
+	// recorded load, but older loads sharing the entry are still live, and
+	// a store must see the union of their footprints. Replacing the bitmap
+	// when a younger load arrives would let a store overlapping only the
+	// older load's bytes slip past the check — a missed violation, the one
+	// failure mode the design must not have. The union can only cause
+	// extra (spurious) replays, which recovery clamps age out.
+	e.bitmap |= bm
 	a.em.Add(energy.CompCheckTable, energy.RAMAccess(a.cfg.TableSize, a.entryBits))
 }
 

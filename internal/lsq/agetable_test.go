@@ -161,3 +161,75 @@ func TestAgeTableReport(t *testing.T) {
 		t.Error("capacity wrong")
 	}
 }
+
+// Regression: the entry bitmap must accumulate across every load sharing
+// the entry, not be replaced by the youngest. The entry's age field only
+// tracks the youngest recorded load, but older loads are still live; a
+// replaced bitmap let a store overlapping only the older load's bytes
+// pass the footprint screen — a missed violation.
+func TestAgeTableBitmapAccumulatesAcrossLoads(t *testing.T) {
+	a := testAgeTable()
+	issueLoad(a, newLoad(10, 0x100, 4), 5) // older load, low half
+	issueLoad(a, newLoad(20, 0x104, 4), 6) // younger load, high half
+	// The store overlaps only the older load's footprint. With the bitmap
+	// replaced by the younger load's, this was silently declared safe.
+	if r := a.StoreResolve(newStore(3, 0x100, 4)); r == nil {
+		t.Fatal("store overlapping the older load's bytes missed")
+	}
+	// Disjoint footprints must still screen: a store to the second half
+	// of a different quad word stays silent.
+	if r := a.StoreResolve(newStore(3, 0x304, 4)); r != nil {
+		t.Error("untouched quad word replayed")
+	}
+}
+
+// Scripted squash recovery: wrong-path loads pollute the table, the
+// squash leaves their entries in place, and recovery clamps ages. The
+// leftovers may cost spurious replays but must never hide a violation
+// against a surviving or refetched load.
+func TestAgeTableSquashRecoveryScripted(t *testing.T) {
+	a := testAgeTable()
+	// Correct-path load, then two wrong-path loads past the mispredicted
+	// branch (age 11): one sharing the survivor's quad word, one on an
+	// address only the wrong path touched.
+	issueLoad(a, newLoad(10, 0x200, 8), 5)
+	wp1 := newLoad(15, 0x200, 8)
+	wp1.WrongPath = true
+	issueLoad(a, wp1, 6)
+	wp2 := newLoad(16, 0x210, 8)
+	wp2.WrongPath = true
+	issueLoad(a, wp2, 6)
+	// Branch recovery squashes everything younger than age 11.
+	a.Squash(12)
+	a.Recover(11)
+
+	// Never a missed violation: a store older than the surviving load and
+	// overlapping its bytes must still replay.
+	if r := a.StoreResolve(newStore(3, 0x200, 8)); r == nil {
+		t.Fatal("violation against the surviving load missed after recovery")
+	} else if r.FromAge != 4 {
+		t.Errorf("replay from %d, want 4 (everything younger than the store)", r.FromAge)
+	}
+
+	// The wrong-path-only leftover is clamped to the recovery age; a
+	// store older than the clamp still sees age 11 recorded and replays
+	// spuriously. That is the design's accepted approximation — assert it
+	// stays a replay (conservative), not a miss, and that the clamp
+	// bounds it.
+	if r := a.StoreResolve(newStore(5, 0x210, 8)); r == nil {
+		t.Error("clamped wrong-path leftover should conservatively replay for older stores")
+	}
+	// Stores younger than the clamp are safe: the leftover cannot name a
+	// younger load anymore.
+	if r := a.StoreResolve(newStore(12, 0x210, 8)); r != nil {
+		t.Error("store younger than the recovery clamp replayed")
+	}
+
+	// Ages recycle after the squash: a refetched load reuses age 13 on the
+	// wrong-path-polluted quad word. A store slotting between survivor and
+	// refetch must still be caught.
+	issueLoad(a, newLoad(13, 0x210, 8), 9)
+	if r := a.StoreResolve(newStore(12, 0x210, 8)); r == nil {
+		t.Fatal("violation against the refetched load missed")
+	}
+}

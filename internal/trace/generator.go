@@ -1,7 +1,9 @@
 package trace
 
 import (
-	"math/rand"
+	"sync"
+
+	"dmdc/internal/xrand"
 
 	"dmdc/internal/isa"
 )
@@ -35,7 +37,7 @@ type branchSite struct {
 }
 
 // direction advances the site's pattern machine and returns the outcome.
-func (s *branchSite) direction(rng *rand.Rand) bool {
+func (s *branchSite) direction(rng *xrand.Rand) bool {
 	switch s.kind {
 	case brBiased:
 		// Rare inversions keep the predictor's counters saturated but honest.
@@ -61,7 +63,7 @@ func (s *branchSite) direction(rng *rand.Rand) bool {
 
 // guess returns a plausible direction without mutating state; used for
 // wrong-path streams so they cannot perturb the committed-path machines.
-func (s *branchSite) guess(rng *rand.Rand) bool {
+func (s *branchSite) guess(rng *xrand.Rand) bool {
 	switch s.kind {
 	case brBiased:
 		return s.bias
@@ -95,14 +97,14 @@ type Generator struct {
 	blocks    []block
 	pcToBlock map[uint64]int
 
-	rng  *rand.Rand
+	rng  *xrand.Rand
 	seq  uint64
 	cur  int // current block
 	slot int
 
 	// Wrong-path stream reuse (see EnableWrongPathReuse).
 	wpReuse   bool
-	wpRng     *rand.Rand
+	wpRng     *xrand.Rand
 	wpScratch WrongStream
 
 	// Register dataflow state.
@@ -145,15 +147,34 @@ func NewGenerator(p Profile) *Generator {
 	}
 	g := &Generator{
 		prof:         p,
-		rng:          rand.New(rand.NewSource(p.Seed)),
+		rng:          xrand.New(p.Seed),
 		regionBytes:  uint64(p.WorkingSetKB) * 1024,
 		nextIntDest:  8,
 		nextFPDest:   isa.NumIntRegs + 8,
 		lastLoadDest: 8,
-		pcToBlock:    make(map[uint64]int),
 		storeRing:    make([]memRef, 64),
 	}
-	g.buildCFG()
+	// The static CFG is a pure function of the profile, built from its own
+	// RNG (seeded p.Seed^0x5eed_b10c, never touching g.rng), so it is
+	// cached per profile and shared. Each generator gets its own []block
+	// copy — branchSite.counter mutates per committed branch — while the
+	// per-block ops/sizes/pattern slices and the pcToBlock map are
+	// immutable after build and shared by every copy. The cache is
+	// unbounded but keyed by Profile values, a small fixed catalog in
+	// practice.
+	if tpl, ok := cfgCache.Load(p); ok {
+		t := tpl.(*cfgTemplate)
+		g.blocks = append([]block(nil), t.blocks...)
+		g.pcToBlock = t.pcToBlock
+	} else {
+		g.pcToBlock = make(map[uint64]int)
+		g.buildCFG()
+		// Counters are still zero here: generation has not started.
+		cfgCache.Store(p, &cfgTemplate{
+			blocks:    append([]block(nil), g.blocks...),
+			pcToBlock: g.pcToBlock,
+		})
+	}
 	// Sequential streams: a handful of array walks at quad-word or
 	// cache-line stride, spread across the region.
 	nStreams := 6
@@ -171,11 +192,21 @@ func NewGenerator(p Profile) *Generator {
 	return g
 }
 
+// cfgTemplate is the immutable product of buildCFG for one profile: block
+// copies with zeroed pattern counters plus the branch-PC lookup map.
+type cfgTemplate struct {
+	blocks    []block
+	pcToBlock map[uint64]int
+}
+
+// cfgCache maps Profile values to their built CFG; see NewGenerator.
+var cfgCache sync.Map
+
 // buildCFG lays out the static blocks, assigns per-slot op classes from the
 // mix, and wires branch sites and successors.
 func (g *Generator) buildCFG() {
 	p := g.prof
-	rng := rand.New(rand.NewSource(p.Seed ^ 0x5eed_b10c))
+	rng := xrand.New(p.Seed ^ 0x5eed_b10c)
 	g.blocks = make([]block, p.Blocks)
 	pc := uint64(codeBase)
 	for i := range g.blocks {
@@ -217,7 +248,7 @@ func (g *Generator) buildCFG() {
 	}
 }
 
-func (g *Generator) sampleOpClass(rng *rand.Rand) isa.Op {
+func (g *Generator) sampleOpClass(rng *xrand.Rand) isa.Op {
 	p := g.prof
 	r := rng.Float64()
 	switch {
@@ -247,7 +278,7 @@ func (g *Generator) sampleOpClass(rng *rand.Rand) isa.Op {
 	}
 }
 
-func (g *Generator) sampleSize(rng *rand.Rand) uint8 {
+func (g *Generator) sampleSize(rng *xrand.Rand) uint8 {
 	w := g.prof.SizeW
 	total := w[0] + w[1] + w[2] + w[3]
 	r := rng.Float64() * total
@@ -263,7 +294,7 @@ func (g *Generator) sampleSize(rng *rand.Rand) uint8 {
 	}
 }
 
-func (g *Generator) sampleBranchSite(rng *rand.Rand) branchSite {
+func (g *Generator) sampleBranchSite(rng *xrand.Rand) branchSite {
 	p := g.prof.Branch
 	r := rng.Float64()
 	switch {
@@ -285,6 +316,22 @@ func (g *Generator) sampleBranchSite(rng *rand.Rand) branchSite {
 }
 
 // Next returns the next committed-path instruction.
+// NextBatch fills dst with the next committed-path instructions and
+// returns how many were written. It stops after emitting a branch so a
+// batching front end never pre-generates across a block boundary: the
+// wrong-path streams spawned at mispredicted branches read the
+// generator's register and address state lazily, and that state must not
+// run ahead of the last instruction the machine has fetched.
+func (g *Generator) NextBatch(dst []isa.Inst) int {
+	for i := range dst {
+		dst[i] = g.Next()
+		if dst[i].Op == isa.OpBranch {
+			return i + 1
+		}
+	}
+	return len(dst)
+}
+
 func (g *Generator) Next() isa.Inst {
 	b := &g.blocks[g.cur]
 	if g.slot >= len(b.ops) {
@@ -322,7 +369,7 @@ func (g *Generator) Next() isa.Inst {
 // fillDynamic populates registers and addresses for one instruction.
 // committed selects whether generator state (rings, stream pointers) is
 // updated; wrong-path streams pass false.
-func (g *Generator) fillDynamic(op isa.Op, pc uint64, size uint8, rng *rand.Rand, committed bool) isa.Inst {
+func (g *Generator) fillDynamic(op isa.Op, pc uint64, size uint8, rng *xrand.Rand, committed bool) isa.Inst {
 	in := isa.Inst{PC: pc, Op: op, Dest: isa.RegNone, Src1: isa.RegNone, Src2: isa.RegNone, Size: size}
 	switch op {
 	case isa.OpLoad:
@@ -396,7 +443,7 @@ func (g *Generator) fillDynamic(op isa.Op, pc uint64, size uint8, rng *rand.Rand
 // past them, which is exactly the partial ordering YLA filtering exploits.
 // Store addresses never hang off load-fed chains: that heavy tail would
 // open enormous checking windows the paper's workloads do not show.
-func (g *Generator) addrReg(rng *rand.Rand, isLoad bool) int16 {
+func (g *Generator) addrReg(rng *xrand.Rand, isLoad bool) int16 {
 	if isLoad {
 		if rng.Float64() < g.prof.PointerChase {
 			return g.lastLoadDest
@@ -421,7 +468,7 @@ func (g *Generator) addrReg(rng *rand.Rand, isLoad bool) int16 {
 }
 
 // recentLoadReg returns the destination of a recent load.
-func (g *Generator) recentLoadReg(rng *rand.Rand) int16 {
+func (g *Generator) recentLoadReg(rng *xrand.Rand) int16 {
 	if g.loadRingLen == 0 {
 		return 1
 	}
@@ -438,7 +485,7 @@ func (g *Generator) recentLoadReg(rng *rand.Rand) int16 {
 // recentALUReg returns the destination of an integer ALU operation about
 // `mean` ALU ops back; falls back to a base register before any ALU op
 // has been generated.
-func (g *Generator) recentALUReg(rng *rand.Rand, mean float64) int16 {
+func (g *Generator) recentALUReg(rng *xrand.Rand, mean float64) int16 {
 	if g.aluRingLen == 0 {
 		return 1
 	}
@@ -454,7 +501,7 @@ func (g *Generator) recentALUReg(rng *rand.Rand, mean float64) int16 {
 
 // allocDest cycles through the destination register pools, periodically
 // rewriting a base register to keep its producer fresh in the stream.
-func (g *Generator) allocDest(fp bool, rng *rand.Rand, committed bool) int16 {
+func (g *Generator) allocDest(fp bool, rng *xrand.Rand, committed bool) int16 {
 	if !fp && committed {
 		g.baseRegTimer++
 		if g.baseRegTimer >= 251 { // prime so it drifts across blocks
@@ -499,7 +546,7 @@ func (g *Generator) pushDest(d int16, fp bool) {
 }
 
 // geomDist draws a geometric dependence distance with the given mean.
-func geomDist(rng *rand.Rand, mean float64) int {
+func geomDist(rng *xrand.Rand, mean float64) int {
 	if mean <= 1 {
 		return 1
 	}
@@ -528,7 +575,7 @@ func (g *Generator) recentIntReg(mean float64) int16 {
 	return g.destRing[(n-d)%len(g.destRing)]
 }
 
-func (g *Generator) recentReg(fp bool, rng *rand.Rand) int16 {
+func (g *Generator) recentReg(fp bool, rng *xrand.Rand) int16 {
 	if fp && g.fpRingLen > 0 {
 		d := geomDist(rng, g.prof.DepDistMean)
 		if d > g.fpRingLen {
@@ -542,7 +589,7 @@ func (g *Generator) recentReg(fp bool, rng *rand.Rand) int16 {
 	return g.recentIntReg(g.prof.DepDistMean)
 }
 
-func (g *Generator) recentAnyReg(rng *rand.Rand) int16 {
+func (g *Generator) recentAnyReg(rng *xrand.Rand) int16 {
 	if g.prof.FPFrac > 0 && rng.Float64() < g.prof.FPFrac && g.fpRingLen > 0 {
 		return g.recentReg(true, rng)
 	}
@@ -568,7 +615,7 @@ func align(addr uint64, size uint8) uint64 { return addr - addr%uint64(size) }
 // loadAddr draws a load address from the profile's mixture of streams. It
 // returns the (possibly narrowed) access size, whether the load aliases a
 // recent store, and that store's address operand register.
-func (g *Generator) loadAddr(size uint8, rng *rand.Rand, committed bool) (uint64, uint8, bool, int16) {
+func (g *Generator) loadAddr(size uint8, rng *xrand.Rand, committed bool) (uint64, uint8, bool, int16) {
 	p := g.prof
 	// Aliasing with a recent store takes priority: this is what creates
 	// forwarding and the rare genuine order violations.
@@ -597,7 +644,7 @@ func (g *Generator) loadAddr(size uint8, rng *rand.Rand, committed bool) (uint64
 	return g.commonAddr(size, rng, committed), size, false, 0
 }
 
-func (g *Generator) storeAddr(size uint8, rng *rand.Rand, committed bool) uint64 {
+func (g *Generator) storeAddr(size uint8, rng *xrand.Rand, committed bool) uint64 {
 	return g.commonAddr(size, rng, committed)
 }
 
@@ -607,7 +654,7 @@ func (g *Generator) storeAddr(size uint8, rng *rand.Rand, committed bool) uint64
 // frequently touch the cache line a just-dispatched store wrote — adjacent
 // quad words, same line. Quad-word-interleaved YLA banks tell these apart;
 // line-interleaved banks cannot, which is the paper's Figure 2 contrast.
-func (g *Generator) commonAddr(size uint8, rng *rand.Rand, committed bool) uint64 {
+func (g *Generator) commonAddr(size uint8, rng *xrand.Rand, committed bool) uint64 {
 	p := g.prof
 	r := rng.Float64()
 	switch {
@@ -645,7 +692,7 @@ func (g *Generator) EntryPC() uint64 { return g.blocks[0].pc }
 // but it never mutates the committed-path generator state.
 type WrongStream struct {
 	g    *Generator
-	rng  *rand.Rand
+	rng  *xrand.Rand
 	cur  int
 	slot int
 	// Frozen copies of address state so wrong-path addresses resemble the
@@ -678,10 +725,10 @@ func (g *Generator) WrongPath(branchPC uint64, taken bool, salt uint64) *WrongSt
 	}
 	seed := int64(branchPC) ^ int64(salt)*0x9e37 ^ g.prof.Seed
 	if !g.wpReuse {
-		return &WrongStream{g: g, rng: rand.New(rand.NewSource(seed)), cur: next}
+		return &WrongStream{g: g, rng: xrand.New(seed), cur: next}
 	}
 	if g.wpRng == nil {
-		g.wpRng = rand.New(rand.NewSource(seed))
+		g.wpRng = xrand.New(seed)
 	} else {
 		g.wpRng.Seed(seed)
 	}
@@ -744,7 +791,7 @@ func (w *WrongStream) Next() isa.Inst {
 
 // wrongPathAddr samples addresses from the same regions as the committed
 // path (streams are read, not advanced).
-func (g *Generator) wrongPathAddr(size uint8, rng *rand.Rand) uint64 {
+func (g *Generator) wrongPathAddr(size uint8, rng *xrand.Rand) uint64 {
 	p := g.prof
 	r := rng.Float64()
 	switch {

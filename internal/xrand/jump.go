@@ -1,0 +1,18 @@
+package xrand
+
+// Precomputed Lehmer jump multipliers 48271^(20+3·j·laneWords) mod
+// (2³¹−1), one per seeding lane: multiplying the normalized seed by
+// laneJump[j] lands the recurrence on the step just before lane j's
+// first drawn value (the +20 covers math/rand's warm-up iterations,
+// one recurrence step each). TestLaneJumps rederives them from the
+// recurrence itself.
+const (
+	laneJump0 = 2075782095 // 48271^20
+	laneJump1 = 1819672356 // 48271^248
+	laneJump2 = 2030957660 // 48271^476
+	laneJump3 = 440840408  // 48271^704
+	laneJump4 = 1650184273 // 48271^932
+	laneJump5 = 707154473  // 48271^1160
+	laneJump6 = 972268434  // 48271^1388
+	laneJump7 = 1362419832 // 48271^1616
+)

@@ -1,0 +1,126 @@
+package xrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// testSeeds covers the sign/zero normalization corners plus a spread of
+// ordinary values, including the generator's XOR-composed wrong-path
+// seeds which are frequently negative.
+var testSeeds = []int64{
+	0, 1, -1, 2, 89482311, 1<<31 - 1, 1 << 31, -(1<<31 - 1), 1<<62 + 12345,
+	-987654321012345, 42, 0x5eed_b10c, 4194304 ^ 0x9e37,
+}
+
+// TestDifferentialInt63 locks the raw source to math/rand word-for-word
+// across seeds, far past one full lagged-Fibonacci period of the state
+// vector so the tap/feed wraparound is exercised.
+func TestDifferentialInt63(t *testing.T) {
+	for _, seed := range testSeeds {
+		ref := rand.New(rand.NewSource(seed))
+		got := New(seed)
+		for i := 0; i < 3*rngLen; i++ {
+			if g, w := got.Int63(), ref.Int63(); g != w {
+				t.Fatalf("seed %d draw %d: Int63 = %d, math/rand = %d", seed, i, g, w)
+			}
+		}
+	}
+}
+
+// TestDifferentialMixed interleaves every derived method the simulator
+// uses, in a deterministic schedule, so consumption patterns (rejection
+// resampling, two-word draws) stay aligned with math/rand.
+func TestDifferentialMixed(t *testing.T) {
+	for _, seed := range testSeeds {
+		ref := rand.New(rand.NewSource(seed))
+		got := New(seed)
+		for i := 0; i < 4096; i++ {
+			switch i % 5 {
+			case 0:
+				if g, w := got.Float64(), ref.Float64(); g != w {
+					t.Fatalf("seed %d draw %d: Float64 = %v, want %v", seed, i, g, w)
+				}
+			case 1:
+				n := 2 + i%97
+				if g, w := got.Intn(n), ref.Intn(n); g != w {
+					t.Fatalf("seed %d draw %d: Intn(%d) = %d, want %d", seed, i, n, g, w)
+				}
+			case 2:
+				n := int64(3 + i%1021)
+				if g, w := got.Int63n(n), ref.Int63n(n); g != w {
+					t.Fatalf("seed %d draw %d: Int63n(%d) = %d, want %d", seed, i, n, g, w)
+				}
+			case 3:
+				// Power-of-two mask path.
+				if g, w := got.Intn(64), ref.Intn(64); g != w {
+					t.Fatalf("seed %d draw %d: Intn(64) = %d, want %d", seed, i, g, w)
+				}
+			case 4:
+				if g, w := got.Int31(), ref.Int31(); g != w {
+					t.Fatalf("seed %d draw %d: Int31 = %d, want %d", seed, i, g, w)
+				}
+			}
+		}
+	}
+}
+
+// TestDifferentialReseed mirrors the wrong-path stream pattern: draw a
+// little, reseed, draw again — the exact shape that makes Seed hot.
+func TestDifferentialReseed(t *testing.T) {
+	ref := rand.New(rand.NewSource(7))
+	got := New(7)
+	for round, seed := range testSeeds {
+		ref.Seed(seed)
+		got.Seed(seed)
+		for i := 0; i < 200; i++ {
+			if g, w := got.Float64(), ref.Float64(); g != w {
+				t.Fatalf("round %d seed %d draw %d: Float64 = %v, want %v", round, seed, i, g, w)
+			}
+		}
+	}
+}
+
+// TestLaneJumps rederives the jump multipliers by stepping the Lehmer
+// recurrence one multiplication at a time: 48271^e·x ≡ jump·x for a
+// handful of x values, for each lane's exponent.
+func TestLaneJumps(t *testing.T) {
+	for j, jump := range laneJump {
+		e := 20 + 3*j*laneWords
+		for _, x0 := range []uint64{1, 2, 48270, 1<<31 - 2, 89482311} {
+			x := x0
+			for i := 0; i < e; i++ {
+				x = lehmer(x)
+			}
+			if got := lehmerMul(jump, x0); got != x {
+				t.Fatalf("lane %d (48271^%d): jump·%d = %d, stepped = %d", j, e, x0, got, x)
+			}
+		}
+	}
+}
+
+// TestIntnPanics pins the invalid-argument contract.
+func TestIntnPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+// BenchmarkSeed measures the reseed cost the wrong-path streams pay per
+// misprediction.
+func BenchmarkSeed(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		r.Seed(int64(i))
+	}
+}
+
+func BenchmarkSeedStdlib(b *testing.B) {
+	r := rand.New(rand.NewSource(1))
+	for i := 0; i < b.N; i++ {
+		r.Seed(int64(i))
+	}
+}
