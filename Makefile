@@ -9,6 +9,9 @@
 #                    soundness suite (oracle, fault injection, watchdog)
 #                    and a short fuzz pass over both fuzz targets
 #   make api-check   just the API-surface comparison
+#   make chaos       kill/restart durability matrix under -race: SIGKILL a
+#                    real dmdcd mid-matrix with a journal on disk, restart,
+#                    prove zero lost / zero duplicated / byte-identical
 #   make fuzz-short  60s split across the fuzz targets
 #   make bench       simulator-throughput benchmarks (BENCH_COUNT reps),
 #                    medians recorded into BENCH_core.json via cmd/benchjson
@@ -21,7 +24,7 @@ GO ?= go
 CACHE_DIR ?= .dmdc-cache
 BENCH_COUNT ?= 5
 
-.PHONY: all build test check vet api-check race soundness alloc-gate fuzz-short cover bench bench-smoke bench-all report clean-cache
+.PHONY: all build test check vet api-check race soundness alloc-gate chaos fuzz-short cover bench bench-smoke bench-all report clean-cache
 
 all: build test check
 
@@ -48,9 +51,18 @@ soundness:
 # 60 seconds of fuzzing split across the targets (seed corpora always run
 # as part of tier-1; this explores beyond them).
 fuzz-short:
-	$(GO) test -run '^$$' -fuzz FuzzPolicySoundness -fuzztime 30s ./internal/lsq/
-	$(GO) test -run '^$$' -fuzz FuzzFaultSpecParse -fuzztime 15s ./internal/soundness/
-	$(GO) test -run '^$$' -fuzz FuzzTraceEventExport -fuzztime 15s ./internal/telemetry/
+	$(GO) test -run '^$$' -fuzz FuzzPolicySoundness -fuzztime 25s ./internal/lsq/
+	$(GO) test -run '^$$' -fuzz FuzzFaultSpecParse -fuzztime 10s ./internal/soundness/
+	$(GO) test -run '^$$' -fuzz FuzzTraceEventExport -fuzztime 10s ./internal/telemetry/
+	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 15s ./internal/jobstore/
+
+# The crash-safety matrix: journal replay edge cases, in-process
+# restart-resume, and a real dmdcd SIGKILLed mid-matrix with its journal
+# fsyncing to disk, all under the race detector.
+chaos:
+	$(GO) test -race -count 1 \
+		-run 'TestChaos|TestServerRestartResume|TestJournal|TestCompaction|TestAutoCompaction|TestVersionSkew|TestAppend' \
+		./internal/dserve/ ./internal/jobstore/
 
 # Whole-module coverage with a per-package summary; the total line is the
 # number `check` prints at the end.
@@ -70,7 +82,7 @@ api-check:
 alloc-gate:
 	$(GO) test -run 'TestAllocationBudget' -count 1 .
 
-check: vet api-check race soundness alloc-gate bench-smoke fuzz-short cover
+check: vet api-check race soundness alloc-gate chaos bench-smoke fuzz-short cover
 
 # Core-simulator throughput, recorded. Medians over BENCH_COUNT repetitions
 # land in the "current" section of BENCH_core.json; the "pre_pr6" section

@@ -58,6 +58,7 @@ func main() {
 		backendsFl = flag.String("backends", "", "comma-separated dmdcd base URLs; shard every simulation across them instead of running in-process (e.g. http://h1:8321,http://h2:8321)")
 		inflight   = flag.Int("inflight", 0, "with -backends: concurrent jobs per backend (0 = 4)")
 		hedgeAfter = flag.Duration("hedge-after", 0, "with -backends: re-dispatch a still-running job on a second backend after this delay (0 disables hedging)")
+		tenant     = flag.String("tenant", "", "with -backends: identify as this tenant (X-DMDC-Tenant header) for fair-share admission on the servers")
 	)
 	flag.Parse()
 
@@ -116,7 +117,7 @@ func main() {
 		var backends []experiments.Backend
 		for _, u := range strings.Split(*backendsFl, ",") {
 			if u = strings.TrimSpace(u); u != "" {
-				backends = append(backends, dserve.NewRemote(u, nil))
+				backends = append(backends, dserve.NewRemote(u, nil).WithTenant(*tenant))
 			}
 		}
 		// The suite's own cache (-cache-dir) already fronts the backend, so

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -55,6 +56,7 @@ type Remote struct {
 	base   string
 	client *http.Client
 	poll   time.Duration
+	tenant string
 }
 
 // NewRemote builds a client for the dmdcd server at baseURL (e.g.
@@ -70,6 +72,14 @@ func NewRemote(baseURL string, client *http.Client) *Remote {
 	}
 }
 
+// WithTenant makes every request identify as the named tenant (the
+// X-DMDC-Tenant header), landing jobs on that tenant's fair-queued
+// admission. Returns r for chaining; empty means the server default.
+func (r *Remote) WithTenant(tenant string) *Remote {
+	r.tenant = tenant
+	return r
+}
+
 // Name identifies the backend by its base URL.
 func (r *Remote) Name() string { return r.base }
 
@@ -77,6 +87,19 @@ func (r *Remote) Name() string { return r.base }
 // failure: server errors and backpressure, not client mistakes.
 func retryableStatus(code int) bool {
 	return code >= 500 || code == http.StatusTooManyRequests
+}
+
+// retryAfterOf extracts an integer-seconds Retry-After hint from a
+// backpressure response (503/429); 0 when absent or unparseable.
+func retryAfterOf(resp *http.Response) time.Duration {
+	if resp.StatusCode != http.StatusServiceUnavailable && resp.StatusCode != http.StatusTooManyRequests {
+		return 0
+	}
+	secs, err := strconv.Atoi(resp.Header.Get("Retry-After"))
+	if err != nil || secs <= 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // errBody extracts the {"error": ...} payload from a non-2xx response.
@@ -109,6 +132,9 @@ func (r *Remote) do(ctx context.Context, method, path string, in, out any) error
 	if in != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if r.tenant != "" {
+		req.Header.Set(TenantHeader, r.tenant)
+	}
 	resp, err := r.client.Do(req)
 	if err != nil {
 		// Transport failure: connection refused, reset, timeout — the
@@ -117,7 +143,12 @@ func (r *Remote) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return &BackendError{Backend: r.Name(), Retryable: retryableStatus(resp.StatusCode), Err: errBody(resp)}
+		return &BackendError{
+			Backend:    r.Name(),
+			Retryable:  retryableStatus(resp.StatusCode),
+			RetryAfter: retryAfterOf(resp),
+			Err:        errBody(resp),
+		}
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
@@ -138,12 +169,6 @@ func (r *Remote) Run(ctx context.Context, spec experiments.JobSpec) (*core.Resul
 			Err: fmt.Errorf("submit returned %d statuses for 1 job", len(sub.Jobs))}
 	}
 	js := sub.Jobs[0]
-	if js.Status == StatusRejected {
-		// Backpressure: the server admitted nothing. Retryable — backoff
-		// or another backend will absorb the job.
-		return nil, &BackendError{Backend: r.Name(), Retryable: true,
-			Err: fmt.Errorf("rejected: %s", js.Error)}
-	}
 	for !js.Status.Terminal() {
 		if err := ctx.Err(); err != nil {
 			return nil, &BackendError{Backend: r.Name(), Retryable: true, Err: err}
@@ -152,6 +177,13 @@ func (r *Remote) Run(ctx context.Context, spec experiments.JobSpec) (*core.Resul
 			fmt.Sprintf("/v1/jobs/%s?wait=%s", js.ID, r.poll), nil, &js); err != nil {
 			return nil, err
 		}
+	}
+	if js.Status == StatusRejected {
+		// Backpressure at submit, or the job was evicted by a server
+		// shutdown while queued. Retryable either way — backoff or another
+		// backend will absorb the job.
+		return nil, &BackendError{Backend: r.Name(), Retryable: true,
+			Err: fmt.Errorf("rejected: %s", js.Error)}
 	}
 	if js.Status == StatusFailed {
 		return nil, &BackendError{Backend: r.Name(), Retryable: js.Retryable,

@@ -176,7 +176,18 @@ func (d *Dispatcher) runJob(ctx context.Context, spec experiments.JobSpec) (*cor
 	for attempt := 0; attempt < d.cfg.MaxAttempts; attempt++ {
 		if attempt > 0 {
 			d.retries.Add(1)
-			t := time.NewTimer(backoff)
+			// A server that rejected us with a Retry-After hint knows its
+			// own backlog better than our exponential guess does; honor the
+			// hint (bounded by RetryMax) for this wait, keeping the
+			// exponential schedule as the fallback.
+			delay := backoff
+			if hint, ok := RetryAfterHint(lastErr); ok {
+				delay = hint
+				if delay > d.cfg.RetryMax {
+					delay = d.cfg.RetryMax
+				}
+			}
+			t := time.NewTimer(delay)
 			select {
 			case <-t.C:
 			case <-ctx.Done():

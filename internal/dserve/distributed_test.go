@@ -49,11 +49,11 @@ func TestDistributedEqualsLocal(t *testing.T) {
 		}
 	}
 
-	srv1 := NewServer(ServerConfig{Workers: 2})
+	srv1 := newTestServer(t, ServerConfig{Workers: 2})
 	defer srv1.Close()
 	ts1 := httptest.NewServer(srv1)
 	defer ts1.Close()
-	srv2 := NewServer(ServerConfig{Workers: 2})
+	srv2 := newTestServer(t, ServerConfig{Workers: 2})
 	defer srv2.Close()
 	ts2 := httptest.NewServer(srv2)
 	defer ts2.Close()
@@ -113,7 +113,7 @@ func TestDistributedEqualsLocal(t *testing.T) {
 // failure vs retryable rejection).
 func TestRemoteAgainstServer(t *testing.T) {
 	t.Parallel()
-	srv := NewServer(ServerConfig{Workers: 1})
+	srv := newTestServer(t, ServerConfig{Workers: 1})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -174,11 +174,11 @@ func TestChaosMatrix(t *testing.T) {
 	// execute and fetch) is answered from the cache on re-dispatch
 	// instead of executing twice.
 	cache := openTestCache(t)
-	srv1 := NewServer(ServerConfig{Workers: 2, Cache: cache})
+	srv1 := newTestServer(t, ServerConfig{Workers: 2, Cache: cache})
 	ts1 := httptest.NewServer(srv1)
 	defer ts1.Close()
 	defer srv1.Close()
-	srv2 := NewServer(ServerConfig{Workers: 2, Cache: cache})
+	srv2 := newTestServer(t, ServerConfig{Workers: 2, Cache: cache})
 	defer srv2.Close()
 	// Server 2 sits behind a fault-injecting proxy: requests during the
 	// burst window get a 502 without reaching the server.

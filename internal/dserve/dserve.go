@@ -7,43 +7,65 @@
 //     poll or long-poll per-job status, and fetch results. Jobs are
 //     content-addressed by their cache key, so resubmitting an identical
 //     spec is idempotent — it lands on the same job (in-flight dedupe) or
-//     is answered straight from the cache.
+//     is answered straight from the cache. Admission is multi-tenant: the
+//     X-DMDC-Tenant header (default "default") selects a per-tenant
+//     bounded queue, workers are shared by weighted deficit-round-robin
+//     across tenants, and per-tenant quotas bound concurrently running
+//     jobs. With a jobstore attached, every admission and lifecycle
+//     transition is journaled, so a crashed or restarted server resumes
+//     or re-queues every incomplete job under the same content-addressed
+//     ID — a client long-polling /v1/jobs/{id}?wait reconnects and gets
+//     the identical answer.
 //
 //   - Dispatcher shards a stream of jobs across one or more Backends
 //     (remote dmdcd servers via Remote, or the in-process Local so the
 //     zero-config path still works), with bounded per-backend in-flight
-//     windows for backpressure, per-job retry with exponential backoff,
-//     hedged re-dispatch of stragglers, and cache-keyed resume so a killed
+//     windows for backpressure, per-job retry with exponential backoff
+//     (honoring Retry-After hints from overloaded servers), hedged
+//     re-dispatch of stragglers, and cache-keyed resume so a killed
 //     worker or dropped connection never loses or duplicates a result.
 //
 // Simulation is deterministic, which is what makes the whole design safe:
 // any backend executing a spec produces the byte-identical Result, so
-// retries, hedges, and cache hits are interchangeable and results can be
-// deduplicated by content address alone.
+// retries, hedges, cache hits, and crash-restart re-executions are
+// interchangeable and results can be deduplicated by content address
+// alone.
 //
 // Wire protocol (all bodies JSON):
 //
 //	POST /v1/jobs            {"jobs":[JobSpec,...]} → {"jobs":[JobStatus,...]}
+//	                         X-DMDC-Tenant names the submitting tenant;
+//	                         a fully rejected batch is a 503 with Retry-After
 //	GET  /v1/jobs            → {"jobs":[JobStatus,...]} (no results)
 //	GET  /v1/jobs/{id}       → JobStatus; ?wait=10s long-polls for a terminal state
 //	GET  /v1/jobs/{id}/result → the core.Result JSON (404 unknown, 409 not done)
-//	GET  /v1/telemetry       → telemetry registry index; ?job={id} one job's series
-//	GET  /v1/healthz         → Health
+//	GET  /v1/telemetry       → telemetry registry index (+ service counters);
+//	                         ?job={id} one job's series
+//	GET  /v1/healthz         → Health (per-tenant depth/served included)
 package dserve
 
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"dmdc/internal/experiments"
 )
 
+// DefaultTenant is the tenant jobs land on when the submit carries no
+// X-DMDC-Tenant header.
+const DefaultTenant = "default"
+
+// TenantHeader is the HTTP header naming the submitting tenant.
+const TenantHeader = "X-DMDC-Tenant"
+
 // Status is a job's lifecycle state.
 type Status string
 
-// Job lifecycle states. Rejected appears only in submit responses: the
-// server's queue was full and the job was not admitted (backpressure) —
-// the client should back off and resubmit.
+// Job lifecycle states. Rejected appears in submit responses (the
+// tenant's queue was full and the job was not admitted — back off and
+// resubmit) and as the terminal state of admitted-but-unstarted jobs
+// evicted by a server shutdown; either way it is retryable.
 const (
 	StatusQueued   Status = "queued"
 	StatusRunning  Status = "running"
@@ -53,7 +75,36 @@ const (
 )
 
 // Terminal reports whether a job in this state will never change again.
-func (s Status) Terminal() bool { return s == StatusDone || s == StatusFailed }
+// Rejected is terminal: the job left the server's queue and will only run
+// if a client resubmits it.
+func (s Status) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusRejected
+}
+
+// TenantConfig shapes per-tenant admission control on a Server.
+type TenantConfig struct {
+	// Weights maps tenant name → DRR weight (jobs served per scheduling
+	// round under contention). Tenants not listed get DefaultWeight.
+	Weights map[string]int
+	// DefaultWeight is the weight for unlisted tenants; 0 means 1.
+	DefaultWeight int
+	// Quota bounds each tenant's concurrently running jobs; 0 disables.
+	Quota int
+	// QueueDepth bounds each tenant's admitted-but-unstarted queue;
+	// 0 means the server's QueueDepth.
+	QueueDepth int
+}
+
+// weightFor resolves a tenant's DRR weight.
+func (tc TenantConfig) weightFor(name string) int {
+	if w, ok := tc.Weights[name]; ok && w > 0 {
+		return w
+	}
+	if tc.DefaultWeight > 0 {
+		return tc.DefaultWeight
+	}
+	return 1
+}
 
 // SubmitRequest is the body of POST /v1/jobs.
 type SubmitRequest struct {
@@ -66,6 +117,8 @@ type JobStatus struct {
 	// specs share an ID, which is what makes submission idempotent.
 	ID     string `json:"id"`
 	Status Status `json:"status"`
+	// Tenant is the tenant the job was admitted under.
+	Tenant string `json:"tenant,omitempty"`
 	// Cached marks a job answered from the persistent result cache
 	// without simulating.
 	Cached bool `json:"cached,omitempty"`
@@ -73,9 +126,9 @@ type JobStatus struct {
 	// StatusRejected).
 	Error string `json:"error,omitempty"`
 	// Retryable hints whether a failure was environmental (shutdown,
-	// cancellation — another backend may succeed) rather than
-	// deterministic (a bad spec or a soundness divergence, which every
-	// backend would reproduce).
+	// cancellation, backpressure — another backend or a later resubmit
+	// may succeed) rather than deterministic (a bad spec or a soundness
+	// divergence, which every backend would reproduce).
 	Retryable bool `json:"retryable,omitempty"`
 }
 
@@ -84,11 +137,25 @@ type ListResponse struct {
 	Jobs []JobStatus `json:"jobs"`
 }
 
+// TenantHealth is one tenant's slice of the health snapshot.
+type TenantHealth struct {
+	Weight   int    `json:"weight"`
+	Quota    int    `json:"quota,omitempty"`
+	QueueCap int    `json:"queue_cap"`
+	Queued   int    `json:"queued"`
+	Running  int    `json:"running"`
+	Admitted uint64 `json:"admitted"`
+	// Served counts jobs handed to workers (the DRR fairness metric).
+	Served   uint64 `json:"served"`
+	Rejected uint64 `json:"rejected"`
+}
+
 // Health is the body of GET /v1/healthz.
 type Health struct {
 	OK      bool `json:"ok"`
 	Workers int  `json:"workers"`
-	// QueueCap is the admission queue's capacity; Queued its depth.
+	// QueueCap is the per-tenant admission queue capacity; Queued the
+	// total depth across tenants.
 	QueueCap int `json:"queue_cap"`
 	Queued   int `json:"queued"`
 	Running  int `json:"running"`
@@ -98,6 +165,16 @@ type Health struct {
 	Executed  uint64 `json:"executed"`
 	CacheHits uint64 `json:"cache_hits"`
 	Rejected  uint64 `json:"rejected"`
+	// Tenants breaks admission down per tenant.
+	Tenants map[string]TenantHealth `json:"tenants,omitempty"`
+	// ResumedDone / ResumedRequeued count jobs recovered from the journal
+	// at startup: already complete (result served from cache) vs
+	// incomplete (re-queued for execution).
+	ResumedDone     uint64 `json:"resumed_done,omitempty"`
+	ResumedRequeued uint64 `json:"resumed_requeued,omitempty"`
+	// JournalErrors counts failed journal appends (durability degraded
+	// but service continuing).
+	JournalErrors uint64 `json:"journal_errors,omitempty"`
 }
 
 // BackendError labels a failure with the backend it came from and whether
@@ -105,7 +182,12 @@ type Health struct {
 type BackendError struct {
 	Backend   string
 	Retryable bool
-	Err       error
+	// RetryAfter, when positive, is the server's own backoff hint (from a
+	// Retry-After header on a 503/429): the earliest moment a retry is
+	// likely to be admitted. The Dispatcher honors it in place of its
+	// exponential schedule.
+	RetryAfter time.Duration
+	Err        error
 }
 
 // Error renders the labeled failure.
@@ -126,4 +208,14 @@ func (e *BackendError) Unwrap() error { return e.Err }
 func Retryable(err error) bool {
 	var be *BackendError
 	return errors.As(err, &be) && be.Retryable
+}
+
+// RetryAfterHint extracts a server-provided backoff hint from err, if the
+// failing backend sent one.
+func RetryAfterHint(err error) (time.Duration, bool) {
+	var be *BackendError
+	if errors.As(err, &be) && be.RetryAfter > 0 {
+		return be.RetryAfter, true
+	}
+	return 0, false
 }

@@ -8,6 +8,16 @@ import (
 	"dmdc/internal/resultcache"
 )
 
+// newTestServer builds a server, failing the test on a resume error.
+func newTestServer(t *testing.T, cfg ServerConfig) *Server {
+	t.Helper()
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatalf("NewServer: %v", err)
+	}
+	return s
+}
+
 // openTestCache opens a fresh result cache under the test's temp dir.
 func openTestCache(t *testing.T) *resultcache.Cache {
 	t.Helper()

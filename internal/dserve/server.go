@@ -6,12 +6,14 @@ import (
 	"fmt"
 	"net/http"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"dmdc/internal/core"
 	"dmdc/internal/experiments"
+	"dmdc/internal/jobstore"
 	"dmdc/internal/resultcache"
 	"dmdc/internal/telemetry"
 )
@@ -20,13 +22,24 @@ import (
 type ServerConfig struct {
 	// Workers bounds concurrent simulations; 0 means GOMAXPROCS.
 	Workers int
-	// QueueDepth bounds admitted-but-unstarted jobs; a full queue rejects
-	// new submissions (backpressure). 0 means 4×Workers (min 16).
+	// QueueDepth bounds each tenant's admitted-but-unstarted jobs; a full
+	// tenant queue rejects that tenant's submissions (backpressure)
+	// without affecting other tenants. 0 means 4×Workers (min 16).
 	QueueDepth int
+	// Tenants shapes per-tenant weights, quotas, and queue depths.
+	Tenants TenantConfig
 	// Cache, when non-nil, answers non-soundness jobs from the persistent
 	// result cache and writes every computed result back, so any process
 	// sharing the directory resumes instead of recomputing.
 	Cache *resultcache.Cache
+	// Store, when non-nil, journals every admission and lifecycle
+	// transition. NewServer replays it: incomplete jobs (admitted or
+	// running at the time of the crash) are re-queued under their
+	// original tenant and content-addressed ID, completed jobs are
+	// re-published from the cache or journal, so long-polling clients
+	// reconnect and get the identical answer. The server appends and
+	// compacts; the caller owns Open/Close of the store.
+	Store *jobstore.Store
 	// Telemetry, when non-nil, attaches a per-job sampler to every
 	// simulated job and serves the registry at /v1/telemetry, keyed by job
 	// ID. Zero fields take the telemetry defaults.
@@ -34,11 +47,13 @@ type ServerConfig struct {
 }
 
 // jobState is one job's lifecycle; guarded by Server.mu except for the
-// immutable id/spec and the done channel (closed exactly once by the
-// executing worker, after the terminal state is published).
+// immutable id/spec/tenant and the done channel (closed exactly once,
+// after the terminal state is published).
 type jobState struct {
-	id   string
-	spec experiments.JobSpec
+	id     string
+	spec   experiments.JobSpec
+	tenant string
+	tq     *tenantQ
 
 	status    Status
 	cached    bool
@@ -54,7 +69,9 @@ type jobState struct {
 type Server struct {
 	workers  int
 	queueCap int
+	tcfg     TenantConfig
 	cache    *resultcache.Cache
+	store    *jobstore.Store
 	telCfg   *telemetry.Config
 	reg      *telemetry.Registry
 
@@ -64,17 +81,23 @@ type Server struct {
 	mux    *http.ServeMux
 
 	mu     sync.Mutex
+	cond   *sync.Cond
 	closed bool
 	jobs   map[string]*jobState
-	queue  chan *jobState
+	sched  *drr
 
-	executed  atomic.Uint64
-	cacheHits atomic.Uint64
-	rejected  atomic.Uint64
+	executed        atomic.Uint64
+	cacheHits       atomic.Uint64
+	rejected        atomic.Uint64
+	journalErrs     atomic.Uint64
+	resumedDone     uint64 // written once in NewServer, before workers start
+	resumedRequeued uint64
 }
 
-// NewServer builds a server and starts its worker pool.
-func NewServer(cfg ServerConfig) *Server {
+// NewServer builds a server, replays cfg.Store if present, and starts the
+// worker pool. The only error source is journal replay/append during
+// resume — a fresh or store-less server cannot fail.
+func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
@@ -84,30 +107,106 @@ func NewServer(cfg ServerConfig) *Server {
 			cfg.QueueDepth = 16
 		}
 	}
+	if cfg.Tenants.QueueDepth <= 0 {
+		cfg.Tenants.QueueDepth = cfg.QueueDepth
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		workers:  cfg.Workers,
-		queueCap: cfg.QueueDepth,
+		queueCap: cfg.Tenants.QueueDepth,
+		tcfg:     cfg.Tenants,
 		cache:    cfg.Cache,
+		store:    cfg.Store,
 		telCfg:   cfg.Telemetry,
 		ctx:      ctx,
 		cancel:   cancel,
 		jobs:     make(map[string]*jobState),
-		queue:    make(chan *jobState, cfg.QueueDepth),
+		sched:    newDRR(),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	if s.telCfg != nil {
 		s.reg = telemetry.NewRegistry()
+		s.reg.SetCounterSource(s.counterSnapshot)
 	}
 	s.routes()
+	if s.store != nil {
+		if err := s.resume(); err != nil {
+			cancel()
+			return nil, err
+		}
+	}
 	for i := 0; i < s.workers; i++ {
 		s.wg.Add(1)
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
-// Close stops accepting jobs, cancels in-flight simulations (they fail
-// with a retryable shutdown error), and waits for the workers to exit.
+// resume rebuilds the job table from the journal: terminal jobs are
+// re-published (done jobs need their result back — from the cache — or
+// they are re-queued, since simulation is deterministic), incomplete jobs
+// are re-queued under their original tenant in admission order.
+func (s *Server) resume() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, jr := range s.store.Jobs() {
+		var spec experiments.JobSpec
+		if err := json.Unmarshal(jr.Spec, &spec); err != nil {
+			return fmt.Errorf("dserve: resume job %s: %w", jr.ID, err)
+		}
+		st := &jobState{
+			id: jr.ID, spec: spec, tenant: jr.Tenant,
+			status: StatusQueued, done: make(chan struct{}),
+		}
+		st.tq = s.tenantLocked(jr.Tenant)
+		s.jobs[jr.ID] = st
+
+		// A result in the cache settles the job no matter what the journal
+		// says: cache.Put happens before the done record is appended, so a
+		// crash between the two leaves a "running" job whose work is done.
+		if s.cache != nil && !spec.Soundness {
+			if hit, ok := s.cache.Get(jr.ID); ok {
+				st.status = StatusDone
+				st.result = hit
+				st.cached = true
+				close(st.done)
+				s.resumedDone++
+				continue
+			}
+		}
+		if jr.State == jobstore.StateFailed && !jr.Retryable {
+			// A deterministic failure reproduces identically; keep it.
+			st.status = StatusFailed
+			st.errMsg = jr.Error
+			close(st.done)
+			s.resumedDone++
+			continue
+		}
+		// Admitted, running, retryably-failed, or done-but-uncached:
+		// incomplete as far as a client is concerned. Re-queue (past the
+		// depth bound — journaled admissions are never dropped).
+		s.sched.pushForce(st.tq, st)
+		st.tq.admitted++
+		s.resumedRequeued++
+	}
+	return nil
+}
+
+// tenantLocked returns (creating if needed) the tenant's queue.
+func (s *Server) tenantLocked(name string) *tenantQ {
+	if name == "" {
+		name = DefaultTenant
+	}
+	return s.sched.tenant(name, s.tcfg.weightFor(name), s.tcfg.Quota, s.tcfg.QueueDepth)
+}
+
+// Close stops accepting jobs, evicts admitted-unstarted jobs with a
+// terminal retryable rejection (so long-pollers wake immediately and
+// dispatchers re-dispatch instead of hanging until timeout), cancels
+// in-flight simulations (they fail with a retryable shutdown error),
+// waits for the workers to exit, and compacts the journal. Evicted jobs
+// stay "admitted" in the journal on purpose: a restart re-queues and
+// finishes them.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -116,28 +215,79 @@ func (s *Server) Close() {
 	}
 	s.closed = true
 	s.cancel()
-	close(s.queue)
+	for _, st := range s.sched.drain() {
+		st.status = StatusRejected
+		st.errMsg = "server closing: job was admitted but never started"
+		st.retryable = true
+		st.tq.rejected++
+		s.rejected.Add(1)
+		close(st.done)
+	}
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	s.wg.Wait()
+	if s.store != nil {
+		// Best-effort: a failed compaction leaves a longer but complete
+		// journal, which replays identically.
+		s.store.Compact()
+	}
 }
 
-// worker drains the queue, executing one job at a time.
+// worker pulls jobs off the fair scheduler until the server closes.
 func (s *Server) worker() {
 	defer s.wg.Done()
-	for st := range s.queue {
+	for {
+		st := s.dequeue()
+		if st == nil {
+			return
+		}
 		s.execute(st)
+		s.mu.Lock()
+		st.tq.running--
+		s.mu.Unlock()
+		// A freed quota slot may unblock a quota-bound tenant.
+		s.cond.Broadcast()
+	}
+}
+
+// dequeue blocks until the DRR scheduler yields a job or the server
+// closes (nil).
+func (s *Server) dequeue() *jobState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if st, _ := s.sched.pop(); st != nil {
+			return st
+		}
+		if s.closed {
+			return nil
+		}
+		s.cond.Wait()
+	}
+}
+
+// journal appends one lifecycle record, best-effort: an append failure
+// degrades durability (counted, visible in /v1/healthz) but must not
+// fail the job — the simulation result is still correct.
+func (s *Server) journal(rec jobstore.Record) {
+	if s.store == nil {
+		return
+	}
+	if err := s.store.Append(rec); err != nil {
+		s.journalErrs.Add(1)
 	}
 }
 
 // execute runs one admitted job to its terminal state.
 func (s *Server) execute(st *jobState) {
 	if err := s.ctx.Err(); err != nil {
-		s.finish(st, nil, false, fmt.Sprintf("server shutting down: %v", err), true)
+		s.finish(st, nil, fmt.Sprintf("server shutting down: %v", err), true)
 		return
 	}
 	s.mu.Lock()
 	st.status = StatusRunning
 	s.mu.Unlock()
+	s.journal(jobstore.Record{State: jobstore.StateRunning, ID: st.id})
 
 	var sampler *telemetry.Sampler
 	if s.telCfg != nil {
@@ -152,22 +302,24 @@ func (s *Server) execute(st *jobState) {
 		// the job. Anything else is deterministic: the same spec would
 		// fail the same way anywhere.
 		retryable := s.ctx.Err() != nil
-		s.finish(st, nil, false, err.Error(), retryable)
+		s.finish(st, nil, err.Error(), retryable)
 		return
 	}
 	s.executed.Add(1)
 	if s.cache != nil && !st.spec.Soundness {
-		// Best-effort: a failed write only costs a recompute next time.
+		// Best-effort, but ordered before the journal's done record: once
+		// "done" is durable, the result must be durable too (resume treats
+		// a cache hit as the job's completion certificate).
 		s.cache.Put(st.id, res)
 	}
-	s.finish(st, res, false, "", false)
+	s.finish(st, res, "", false)
 }
 
-// finish publishes a job's terminal state and wakes every waiter.
-func (s *Server) finish(st *jobState, res *core.Result, cached bool, errMsg string, retryable bool) {
+// finish publishes a job's terminal state, journals it, and wakes every
+// waiter.
+func (s *Server) finish(st *jobState, res *core.Result, errMsg string, retryable bool) {
 	s.mu.Lock()
 	st.result = res
-	st.cached = cached
 	st.errMsg = errMsg
 	st.retryable = retryable
 	if errMsg == "" {
@@ -176,13 +328,22 @@ func (s *Server) finish(st *jobState, res *core.Result, cached bool, errMsg stri
 		st.status = StatusFailed
 	}
 	s.mu.Unlock()
+	if errMsg == "" {
+		s.journal(jobstore.Record{State: jobstore.StateDone, ID: st.id})
+	} else if !retryable {
+		// Retryable failures (shutdown, cancellation) stay non-terminal in
+		// the journal so a restart re-queues them; only deterministic
+		// failures are worth persisting.
+		s.journal(jobstore.Record{State: jobstore.StateFailed, ID: st.id, Error: errMsg})
+	}
 	close(st.done)
 }
 
-// admit registers one submitted spec and returns its wire status:
-// an existing job (idempotent resubmit), a cache answer, a queued
-// admission, or a backpressure rejection.
-func (s *Server) admit(spec experiments.JobSpec) JobStatus {
+// admit registers one submitted spec under a tenant and returns its wire
+// status: an existing job (idempotent resubmit, whichever tenant got
+// there first), a cache answer, a queued admission, or a backpressure
+// rejection.
+func (s *Server) admit(spec experiments.JobSpec, tenant string) JobStatus {
 	if err := spec.Validate(); err != nil {
 		// Invalid specs are rejected before they get an ID of their own:
 		// the error is deterministic and the client must fix the spec.
@@ -196,9 +357,10 @@ func (s *Server) admit(spec experiments.JobSpec) JobStatus {
 	}
 	if s.closed {
 		s.rejected.Add(1)
-		return JobStatus{ID: id, Status: StatusRejected, Error: "server closed"}
+		return JobStatus{ID: id, Status: StatusRejected, Tenant: tenant, Error: "server closed", Retryable: true}
 	}
-	st := &jobState{id: id, spec: spec, status: StatusQueued, done: make(chan struct{})}
+	tq := s.tenantLocked(tenant)
+	st := &jobState{id: id, spec: spec, tenant: tenant, tq: tq, status: StatusQueued, done: make(chan struct{})}
 	if s.cache != nil && !spec.Soundness {
 		if hit, ok := s.cache.Get(id); ok {
 			s.cacheHits.Add(1)
@@ -210,14 +372,34 @@ func (s *Server) admit(spec experiments.JobSpec) JobStatus {
 			return s.statusLocked(st)
 		}
 	}
-	select {
-	case s.queue <- st:
-		s.jobs[id] = st
-		return s.statusLocked(st)
-	default:
+	if tq.depth > 0 && len(tq.queue) >= tq.depth {
+		tq.rejected++
 		s.rejected.Add(1)
-		return JobStatus{ID: id, Status: StatusRejected, Error: "queue full"}
+		return JobStatus{ID: id, Status: StatusRejected, Tenant: tenant,
+			Error: fmt.Sprintf("tenant %q queue full (%d)", tq.name, tq.depth), Retryable: true}
 	}
+	if s.store != nil {
+		// Durability before visibility: the admission must survive a crash
+		// before the client is told "queued".
+		specJSON, err := json.Marshal(spec)
+		if err == nil {
+			err = s.store.Append(jobstore.Record{
+				State: jobstore.StateAdmitted, ID: id, Tenant: tq.name, Spec: specJSON,
+			})
+		}
+		if err != nil {
+			s.journalErrs.Add(1)
+			tq.rejected++
+			s.rejected.Add(1)
+			return JobStatus{ID: id, Status: StatusRejected, Tenant: tenant,
+				Error: fmt.Sprintf("journal admission: %v", err), Retryable: true}
+		}
+	}
+	s.sched.push(tq, st)
+	tq.admitted++
+	s.jobs[id] = st
+	s.cond.Signal()
+	return s.statusLocked(st)
 }
 
 // statusLocked snapshots a job's wire status; callers hold mu.
@@ -225,6 +407,7 @@ func (s *Server) statusLocked(st *jobState) JobStatus {
 	return JobStatus{
 		ID:        st.id,
 		Status:    st.status,
+		Tenant:    st.tenant,
 		Cached:    st.cached,
 		Error:     st.errMsg,
 		Retryable: st.retryable,
@@ -257,7 +440,32 @@ func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) { s.mux.Serve
 // few hundred KB, so 32 MiB is generous without being unbounded.
 const maxSubmitBytes = 32 << 20
 
+// maxTenantName bounds the tenant header; it is a queue label, not data.
+const maxTenantName = 64
+
+// tenantFrom extracts and sanity-checks the submitting tenant.
+func tenantFrom(r *http.Request) (string, error) {
+	t := r.Header.Get(TenantHeader)
+	if t == "" {
+		return DefaultTenant, nil
+	}
+	if len(t) > maxTenantName {
+		return "", fmt.Errorf("tenant name longer than %d bytes", maxTenantName)
+	}
+	for _, c := range t {
+		if c < 0x21 || c > 0x7e {
+			return "", fmt.Errorf("tenant name has non-printable or space characters")
+		}
+	}
+	return t, nil
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	tenant, err := tenantFrom(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %w", TenantHeader, err))
+		return
+	}
 	var req SubmitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	if err := dec.Decode(&req); err != nil {
@@ -271,7 +479,7 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	resp := ListResponse{Jobs: make([]JobStatus, 0, len(req.Jobs))}
 	rejected := 0
 	for _, spec := range req.Jobs {
-		js := s.admit(spec)
+		js := s.admit(spec, tenant)
 		if js.Status == StatusRejected {
 			rejected++
 		}
@@ -280,11 +488,26 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	code := http.StatusOK
 	if rejected == len(req.Jobs) {
 		// Nothing was admitted: surface the backpressure at the HTTP layer
-		// too, so plain clients back off without parsing per-job states.
+		// too, with a load-derived Retry-After so plain clients (and the
+		// Dispatcher) back off for about as long as the queue needs to
+		// drain instead of hammering a fixed schedule.
 		code = http.StatusServiceUnavailable
-		w.Header().Set("Retry-After", "1")
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	}
 	writeJSON(w, code, resp)
+}
+
+// retryAfterSeconds estimates how long a rejected client should wait:
+// proportional to the queue backlog per worker, clamped to [1, 30].
+func (s *Server) retryAfterSeconds() int {
+	s.mu.Lock()
+	backlog := s.sched.queued
+	s.mu.Unlock()
+	secs := 1 + backlog/(2*s.workers)
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
@@ -350,13 +573,16 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+// Stats snapshots the server's health, including the per-tenant
+// depth/served breakdown. It is the same structure /v1/healthz serves.
+func (s *Server) Stats() Health {
 	s.mu.Lock()
 	h := Health{
 		OK:       !s.closed,
 		Workers:  s.workers,
 		QueueCap: s.queueCap,
-		Queued:   len(s.queue),
+		Queued:   s.sched.queued,
+		Tenants:  make(map[string]TenantHealth, len(s.sched.ring)),
 	}
 	for _, st := range s.jobs {
 		switch st.status {
@@ -368,11 +594,52 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 			h.Failed++
 		}
 	}
+	for _, tq := range s.sched.ring {
+		h.Tenants[tq.name] = TenantHealth{
+			Weight:   tq.weight,
+			Quota:    tq.quota,
+			QueueCap: tq.depth,
+			Queued:   len(tq.queue),
+			Running:  tq.running,
+			Admitted: tq.admitted,
+			Served:   tq.served,
+			Rejected: tq.rejected,
+		}
+	}
+	h.ResumedDone = s.resumedDone
+	h.ResumedRequeued = s.resumedRequeued
 	s.mu.Unlock()
 	h.Executed = s.executed.Load()
 	h.CacheHits = s.cacheHits.Load()
 	h.Rejected = s.rejected.Load()
-	writeJSON(w, http.StatusOK, h)
+	h.JournalErrors = s.journalErrs.Load()
+	return h
+}
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+// counterSnapshot feeds the telemetry registry's service-counter view:
+// flat name → value, one row per global counter plus per-tenant
+// depth/served gauges.
+func (s *Server) counterSnapshot() map[string]int64 {
+	h := s.Stats()
+	out := map[string]int64{
+		"jobs_executed":   int64(h.Executed),
+		"jobs_cache_hits": int64(h.CacheHits),
+		"jobs_rejected":   int64(h.Rejected),
+		"queue_depth":     int64(h.Queued),
+		"journal_errors":  int64(h.JournalErrors),
+	}
+	for name, th := range h.Tenants {
+		out["tenant_"+name+"_queued"] = int64(th.Queued)
+		out["tenant_"+name+"_running"] = int64(th.Running)
+		out["tenant_"+name+"_admitted"] = int64(th.Admitted)
+		out["tenant_"+name+"_served"] = int64(th.Served)
+		out["tenant_"+name+"_rejected"] = int64(th.Rejected)
+	}
+	return out
 }
 
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {

@@ -78,7 +78,7 @@ func getStatus(t *testing.T, url, id, wait string) JobStatus {
 // and checks the health counters.
 func TestServerLifecycle(t *testing.T) {
 	t.Parallel()
-	srv := NewServer(ServerConfig{Workers: 2})
+	srv := newTestServer(t, ServerConfig{Workers: 2})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -119,7 +119,7 @@ func TestServerLifecycle(t *testing.T) {
 // spec submitted repeatedly lands on one job and simulates exactly once.
 func TestServerIdempotentResubmit(t *testing.T) {
 	t.Parallel()
-	srv := NewServer(ServerConfig{Workers: 2})
+	srv := newTestServer(t, ServerConfig{Workers: 2})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -152,7 +152,7 @@ func TestServerCacheHit(t *testing.T) {
 	}
 	spec := quickSpec("mcf")
 
-	srv1 := NewServer(ServerConfig{Workers: 1, Cache: cache})
+	srv1 := newTestServer(t, ServerConfig{Workers: 1, Cache: cache})
 	ts1 := httptest.NewServer(srv1)
 	lr, _ := submit(t, ts1.URL, spec)
 	if js := getStatus(t, ts1.URL, lr.Jobs[0].ID, "30s"); js.Status != StatusDone {
@@ -165,7 +165,7 @@ func TestServerCacheHit(t *testing.T) {
 	if err != nil {
 		t.Fatalf("cache2: %v", err)
 	}
-	srv2 := NewServer(ServerConfig{Workers: 1, Cache: cache2})
+	srv2 := newTestServer(t, ServerConfig{Workers: 1, Cache: cache2})
 	defer srv2.Close()
 	ts2 := httptest.NewServer(srv2)
 	defer ts2.Close()
@@ -182,7 +182,7 @@ func TestServerCacheHit(t *testing.T) {
 // blocking, not loss) for the overflow, including the all-rejected 503.
 func TestServerBackpressure(t *testing.T) {
 	t.Parallel()
-	srv := NewServer(ServerConfig{Workers: 1, QueueDepth: 1})
+	srv := newTestServer(t, ServerConfig{Workers: 1, QueueDepth: 1})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -225,21 +225,37 @@ func TestServerBackpressure(t *testing.T) {
 }
 
 // TestServerCloseFailsInFlightRetryably pins the drain contract: closing
-// a server fails running and queued jobs with retryable errors (so a
-// dispatcher reroutes them) rather than losing them.
+// a server gives every admitted job a retryable terminal state — running
+// jobs fail (cancelled), admitted-unstarted jobs are rejected — so a
+// dispatcher reroutes them immediately instead of hanging a long poll
+// until timeout. Nothing is silently lost.
 func TestServerCloseFailsInFlightRetryably(t *testing.T) {
 	t.Parallel()
-	srv := NewServer(ServerConfig{Workers: 1, QueueDepth: 4})
+	srv := newTestServer(t, ServerConfig{Workers: 1, QueueDepth: 4})
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 
 	lr, _ := submit(t, ts.URL, slowSpec("gzip"), slowSpec("gcc"))
-	srv.Close()
-	for _, sub := range lr.Jobs {
-		js := getStatus(t, ts.URL, sub.ID, "30s")
-		if js.Status != StatusFailed || !js.Retryable {
-			t.Fatalf("after close, job %s: %+v, want retryable failure", sub.ID, js)
+	// Wait until one job is actually running, so close deterministically
+	// sees one running + one queued job.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if js := getStatus(t, ts.URL, lr.Jobs[0].ID, ""); js.Status == StatusRunning {
+			break
 		}
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started running")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	srv.Close()
+	running := getStatus(t, ts.URL, lr.Jobs[0].ID, "30s")
+	if running.Status != StatusFailed || !running.Retryable {
+		t.Fatalf("after close, running job: %+v, want retryable failure", running)
+	}
+	queued := getStatus(t, ts.URL, lr.Jobs[1].ID, "30s")
+	if queued.Status != StatusRejected || !queued.Retryable {
+		t.Fatalf("after close, queued job: %+v, want retryable rejection", queued)
 	}
 	// New submissions are rejected outright.
 	late, code := submit(t, ts.URL, quickSpec("swim"))
@@ -252,7 +268,7 @@ func TestServerCloseFailsInFlightRetryably(t *testing.T) {
 // deterministically (non-retryable) without consuming queue space.
 func TestServerRejectsInvalid(t *testing.T) {
 	t.Parallel()
-	srv := NewServer(ServerConfig{Workers: 1})
+	srv := newTestServer(t, ServerConfig{Workers: 1})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -273,7 +289,7 @@ func TestServerRejectsInvalid(t *testing.T) {
 // exposes per-job series keyed by job ID, and a plain server 404s.
 func TestServerTelemetryEndpoint(t *testing.T) {
 	t.Parallel()
-	srv := NewServer(ServerConfig{Workers: 1, Telemetry: &telemetry.Config{Stride: 1024}})
+	srv := newTestServer(t, ServerConfig{Workers: 1, Telemetry: &telemetry.Config{Stride: 1024}})
 	defer srv.Close()
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
@@ -288,7 +304,7 @@ func TestServerTelemetryEndpoint(t *testing.T) {
 	}
 	resp.Body.Close()
 
-	plain := NewServer(ServerConfig{Workers: 1})
+	plain := newTestServer(t, ServerConfig{Workers: 1})
 	defer plain.Close()
 	tp := httptest.NewServer(plain)
 	defer tp.Close()
