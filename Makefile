@@ -6,13 +6,17 @@
 #                    tests for the concurrent packages (experiment runner,
 #                    result cache, simulation service) — keeps the
 #                    singleflight and worker-pool fixes fixed — plus the
-#                    soundness suite (oracle, fault injection, watchdog)
-#                    and a short fuzz pass over both fuzz targets
+#                    soundness suite (oracle, fault injection, watchdog),
+#                    the wakeup-shadow scheduler cross-check, and a short
+#                    fuzz pass over every fuzz target
 #   make api-check   just the API-surface comparison
 #   make chaos       kill/restart durability matrix under -race: SIGKILL a
 #                    real dmdcd mid-matrix with a journal on disk, restart,
 #                    prove zero lost / zero duplicated / byte-identical
-#   make fuzz-short  60s split across the fuzz targets
+#   make fuzz-short  75s split across the fuzz targets
+#   make wakeup-shadow  benchmark matrix with both issue schedulers in
+#                    lockstep under -race: the scan drives, the event
+#                    scheduler shadows every pick, any divergence fails
 #   make bench       simulator-throughput benchmarks (BENCH_COUNT reps),
 #                    medians recorded into BENCH_core.json via cmd/benchjson
 #   make bench-smoke one-iteration run of the simulator benchmarks — a fast
@@ -24,7 +28,7 @@ GO ?= go
 CACHE_DIR ?= .dmdc-cache
 BENCH_COUNT ?= 5
 
-.PHONY: all build test check vet api-check race soundness alloc-gate chaos fuzz-short cover bench bench-smoke bench-all report clean-cache
+.PHONY: all build test check vet api-check race soundness alloc-gate chaos wakeup-shadow fuzz-short cover bench bench-smoke bench-all report clean-cache
 
 all: build test check
 
@@ -48,13 +52,21 @@ race:
 soundness:
 	$(GO) test -run 'Soundness|Oracle|Watchdog|WrongPath|Fault|Invariant' ./internal/core/... ./internal/soundness/... ./internal/lsq/... ./internal/experiments/...
 
-# 60 seconds of fuzzing split across the targets (seed corpora always run
+# The scheduler cross-check: every benchmark on the primary and the
+# IQ-pressure machines, scan and event schedulers in lockstep (shadow
+# mode), plus the direct scan-vs-event fingerprint equivalence cells —
+# all under the race detector.
+wakeup-shadow:
+	$(GO) test -race -run 'TestWakeupShadowMatrix|TestWakeupSchedulerEquivalence' -count 1 .
+
+# 75 seconds of fuzzing split across the targets (seed corpora always run
 # as part of tier-1; this explores beyond them).
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzPolicySoundness -fuzztime 25s ./internal/lsq/
 	$(GO) test -run '^$$' -fuzz FuzzFaultSpecParse -fuzztime 10s ./internal/soundness/
 	$(GO) test -run '^$$' -fuzz FuzzTraceEventExport -fuzztime 10s ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 15s ./internal/jobstore/
+	$(GO) test -run '^$$' -fuzz FuzzWakeupScanEquivalence -fuzztime 15s ./internal/core/
 
 # The crash-safety matrix: journal replay edge cases, in-process
 # restart-resume, and a real dmdcd SIGKILLed mid-matrix with its journal
@@ -82,15 +94,16 @@ api-check:
 alloc-gate:
 	$(GO) test -run 'TestAllocationBudget' -count 1 .
 
-check: vet api-check race soundness alloc-gate chaos bench-smoke fuzz-short cover
+check: vet api-check race soundness alloc-gate chaos wakeup-shadow bench-smoke fuzz-short cover
 
 # Core-simulator throughput, recorded. Medians over BENCH_COUNT repetitions
-# land in the "current" section of BENCH_core.json; the "pre_pr6" section
-# holds the numbers from just before the SoA/arena refactor (and "pre_pr3"
-# the pre-optimization ones), which the speedup ratios compare against.
+# land in the "current" section of BENCH_core.json; the "pre_pr8" section
+# holds the numbers from just before the event-wakeup scheduler ("pre_pr6"
+# pre-SoA/arena, "pre_pr3" pre-optimization), which the speedup ratios
+# compare against.
 bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC|Telemetry)$$' -benchtime 30x -count $(BENCH_COUNT) -benchmem . \
-		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_core.json -base pre_pr6
+		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_core.json -base pre_pr8
 
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC|Telemetry)$$' -benchtime 1x .

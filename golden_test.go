@@ -37,8 +37,13 @@ var updateGolden = flag.Bool("update", false, "rewrite testdata/golden fingerpri
 // exercised, small enough that the full matrix stays in test-suite budget.
 const goldenInsts = 50_000
 
+// goldenConfigs is the paper's three machines plus the off-paper
+// IQ-pressure stress machine (tiny issue queues behind a thrashing L1D
+// and slow memory): the latter keeps the scheduler IQ-full with
+// long-latency wakeups, the regime where issue-ordering bugs that the
+// roomy paper configs mask would surface.
 func goldenConfigs() []dmdc.Machine {
-	return []dmdc.Machine{dmdc.Config1(), dmdc.Config2(), dmdc.Config3()}
+	return []dmdc.Machine{dmdc.Config1(), dmdc.Config2(), dmdc.Config3(), dmdc.ConfigIQPressure()}
 }
 
 // goldenPolicies is the policy axis: the conventional baseline, the YLA

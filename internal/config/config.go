@@ -139,15 +139,38 @@ func Config3() Machine {
 	return m
 }
 
-// All returns the three configurations in order.
+// IQPressure returns a stress configuration outside the paper's Table 1:
+// issue queues far smaller than the ROB behind a tiny direct-mapped L1D
+// and slow lower levels. Loads miss constantly and hold their consumers
+// in the window for tens of cycles, so the scheduler runs IQ-full with
+// long-latency wakeups — the regime that exercises issue wakeup ordering
+// (and its squash interactions) hardest. Used by the golden matrix and
+// the wakeup shadow suite; not part of the paper's evaluation set.
+func IQPressure() Machine {
+	m := common("iqpress")
+	m.IQInt, m.IQFP = 12, 8
+	m.ROBSize = 192
+	m.LQSize, m.SQSize = 64, 32
+	m.IntRegs, m.FPRegs = 160, 160
+	m.CheckTable = 2048
+	m.Memory.L1D = cache.Config{Name: "l1d", SizeB: 8 << 10, Ways: 1, LineB: 64, Latency: 4}
+	m.Memory.L2.Latency = 30
+	m.Memory.MemLatency = 240
+	return m
+}
+
+// All returns the paper's three configurations in order (IQPressure is a
+// test harness configuration, deliberately excluded so the experiment
+// matrix keeps the paper's shape).
 func All() []Machine { return []Machine{Config1(), Config2(), Config3()} }
 
-// ByName returns the named configuration.
+// ByName returns the named configuration, including the off-paper
+// "iqpress" stress machine.
 func ByName(name string) (Machine, error) {
-	for _, m := range All() {
+	for _, m := range append(All(), IQPressure()) {
 		if m.Name == name {
 			return m, nil
 		}
 	}
-	return Machine{}, fmt.Errorf("config: unknown machine %q (want config1/config2/config3)", name)
+	return Machine{}, fmt.Errorf("config: unknown machine %q (want config1/config2/config3/iqpress)", name)
 }

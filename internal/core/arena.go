@@ -29,6 +29,14 @@ type Arena struct {
 	memOps  []lsq.MemOp
 	wheel   [][]wheelEv
 
+	// Event-wakeup state (see wakeup.go): the ready bitmap and the
+	// intrusive consumer lists, all slot-indexed alongside robHot.
+	readyBM  []uint64
+	consHead []int32
+	consNext []int32
+	consPrev []int32
+	consOn   []int32
+
 	waiting       []schedEnt
 	dataWait      []wheelEv
 	sq            []sqEntry
@@ -68,6 +76,30 @@ func (a *Arena) ensure(robSize int) {
 	a.robHot = a.robHot[:robSize]
 	a.robData = a.robData[:robSize]
 	a.memOps = a.memOps[:robSize]
+	words := (robSize + 63) / 64
+	if cap(a.consOn) < robSize {
+		a.readyBM = make([]uint64, words)
+		a.consHead = make([]int32, robSize)
+		a.consNext = make([]int32, robSize)
+		a.consPrev = make([]int32, robSize)
+		a.consOn = make([]int32, robSize)
+	} else {
+		a.readyBM = a.readyBM[:words]
+		a.consHead = a.consHead[:robSize]
+		a.consNext = a.consNext[:robSize]
+		a.consPrev = a.consPrev[:robSize]
+		a.consOn = a.consOn[:robSize]
+	}
+	// Unlike the ROB halves, the wakeup structures ARE reset between
+	// runs: a stale ready bit or chain link from the previous run would
+	// be read before the slot is re-initialized by insert.
+	for i := range a.readyBM {
+		a.readyBM[i] = 0
+	}
+	for i := range a.consHead {
+		a.consHead[i] = -1
+		a.consOn[i] = -1
+	}
 	if a.wheel == nil {
 		a.wheel = make([][]wheelEv, wheelSize)
 		backing := make([]wheelEv, wheelSize*wheelSlotCap)
@@ -94,6 +126,12 @@ func (a *Arena) attach(s *Sim) {
 	s.robData = a.robData
 	s.memOps = a.memOps
 	s.wheel = a.wheel
+	s.readyBM = a.readyBM
+	s.consHead = a.consHead
+	s.consNext = a.consNext
+	s.consPrev = a.consPrev
+	s.consOn = a.consOn
+	s.readyCnt = 0
 	s.waiting = a.waiting
 	s.dataWait = a.dataWait
 	s.sq = a.sq

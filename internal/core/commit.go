@@ -228,12 +228,23 @@ func (s *Sim) squashAfter(keepAge uint64, save bool) {
 	saved := s.squashScratch[:0]
 	var firstBranchCp uint32
 	var sawBranch bool
+	evWake := s.wakeMode != wakeupScan
 	idx := s.idxOf(from)
 	for age := from; age <= tailAge; age++ {
+		slot := idx
 		h := &s.robHot[idx]
 		d := &s.robData[idx]
 		if idx++; idx == len(s.robHot) {
 			idx = 0
+		}
+		if evWake {
+			// Event-wakeup teardown by age range: drop the slot's ready
+			// bit and unlink it from the consumer list it is parked on
+			// (the producer may survive the squash). The slot's own
+			// consumer list needs no walk — every member is younger,
+			// hence also in this squash range, and unlinks itself here.
+			s.clearReady(slot)
+			s.unpark(slot)
 		}
 		if save && !h.wrongPath() {
 			saved = append(saved, d.inst)

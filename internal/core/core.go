@@ -199,15 +199,23 @@ type Sim struct {
 	lastGenPC   uint64 // next correct-path fetch PC (I-cache proxy)
 	lastWPPC    uint64 // next wrong-path fetch PC
 
-	// Scheduling.
-	waiting  []schedEnt // stWaiting entries, age-ascending, with sleep hints
-	// issueSkipUntil elides whole issue scans: when a scan finds every
-	// waiting entry asleep (each hit only the wake-test fast path, so the
-	// scan provably had no effect), nothing can issue before the earliest
-	// wake, and issueStage returns immediately until that cycle. Cleared
-	// by dispatch, the only way a wake-0 entry can appear; a squash only
-	// removes entries, which cannot make anything issue earlier.
-	issueSkipUntil uint64
+	// Scheduling. wakeMode selects the issue scheduler (see wakeup.go);
+	// the default is the event-driven one. The scan's waiting list and
+	// the event scheduler's ready bitmap + consumer lists are maintained
+	// per mode (shadow maintains both).
+	wakeMode wakeupMode
+	waiting  []schedEnt // scan modes: stWaiting entries, age-ascending, with sleep hints
+	// Event-wakeup state, all slot-indexed and arena-backed: readyBM is
+	// the issue-ready bitmap (readyCnt its exact population count), and
+	// consHead/consNext/consPrev/consOn form the intrusive doubly-linked
+	// per-producer consumer lists (-1 terminated; consOn[c] is the
+	// producer slot c is parked on, -1 when not parked).
+	readyBM  []uint64
+	readyCnt int
+	consHead []int32
+	consNext []int32
+	consPrev []int32
+	consOn   []int32
 	dataWait []wheelEv // stores whose data operand is pending (epoch-tagged)
 	wheel    [][]wheelEv
 	epoch    uint32

@@ -24,28 +24,34 @@ func (s *Sim) scheduleCompletion(age uint64, lat int) {
 }
 
 // issueStage selects ready instructions oldest-first, up to the issue
-// width and functional-unit limits, and begins their execution.
+// width and functional-unit limits, and begins their execution, through
+// the scheduler the wakeup mode selects (see wakeup.go).
 func (s *Sim) issueStage() {
-	if s.cycle < s.issueSkipUntil {
-		return // a previous scan proved nothing can issue yet
+	switch s.wakeMode {
+	case wakeupEvent:
+		s.issueEvent()
+	case wakeupScan:
+		s.issueScan(false)
+	default:
+		s.issueScan(true)
 	}
+}
+
+// issueScan is the legacy issue stage: a walk over every waiting
+// instruction, age-ascending, with per-entry sleep hints. With shadow
+// set, the event scheduler runs as a lockstep ghost and every issue pick
+// is diffed (see shadowCheck/shadowFlush).
+func (s *Sim) issueScan(shadow bool) {
 	var (
-		issued   int
-		intALU   int
-		intMD    int
-		fpALU    int
-		fpMD     int
-		memPorts int
+		fu    fuState
+		ghost wakeIter
 	)
-	// allAsleep tracks whether every entry hits the sleeping fast path. If
-	// so the scan touched nothing — no ROB reads, no issue attempts, out
-	// identical to waiting — proving issueStage is a no-op until the
-	// earliest wake, so the scans until then are skipped outright.
-	allAsleep := true
-	minWake := ^uint64(0)
+	if shadow {
+		s.newWakeIter(&ghost)
+	}
 	out := s.waiting[:0]
 	for i, se := range s.waiting {
-		if issued >= s.cfg.IssueWidth {
+		if fu.issued >= s.cfg.IssueWidth {
 			// Width exhausted: nothing further can issue this cycle, so keep
 			// the tail wholesale instead of walking every blocked entry.
 			// (The liveness/state filters below are lazy cleanup — a dropped
@@ -56,13 +62,9 @@ func (s *Sim) issueStage() {
 		if s.cycle < se.wake {
 			// Sleeping: the blocking producer cannot have completed yet.
 			// No ROB access at all — this is the scan's cheap path.
-			if se.wake < minWake {
-				minWake = se.wake
-			}
 			out = append(out, se)
 			continue
 		}
-		allAsleep = false
 		age := se.age
 		// Inlined live()+entryOf(): one offset computation serves both the
 		// liveness test and the slot lookup. The fields are re-read every
@@ -85,21 +87,7 @@ func (s *Sim) issueStage() {
 			continue
 		}
 		op := h.op
-		// Functional-unit availability.
-		var fuOK bool
-		switch {
-		case op == isa.OpIMul || op == isa.OpIDiv:
-			fuOK = intMD < s.cfg.IntMulDiv
-		case op == isa.OpFMul || op == isa.OpFDiv:
-			fuOK = fpMD < s.cfg.FPMulDiv
-		case op.IsFP():
-			fuOK = fpALU < s.cfg.FPALUs
-		case op.IsLoad():
-			fuOK = intALU < s.cfg.IntALUs && memPorts < s.cfg.MemPorts
-		default:
-			fuOK = intALU < s.cfg.IntALUs
-		}
-		if !fuOK {
+		if !fu.ok(s, op) {
 			out = append(out, schedEnt{age: age})
 			continue
 		}
@@ -131,6 +119,12 @@ func (s *Sim) issueStage() {
 			out = append(out, schedEnt{age: age, wake: wake})
 			continue
 		}
+		if shadow && !s.shadowCheck(&ghost, &fu, age) {
+			// Divergence: the run is condemned (simErr set); keep the rest
+			// of the list and stop issuing.
+			out = append(out, s.waiting[i:]...)
+			break
+		}
 		// Issue.
 		kept := s.beginExecution(idx, h)
 		if kept {
@@ -143,27 +137,17 @@ func (s *Sim) issueStage() {
 		if s.tracing {
 			s.traceEvent("IS", age, &s.robData[idx].inst, "")
 		}
-		issued++
-		switch {
-		case op == isa.OpIMul || op == isa.OpIDiv:
-			intMD++
-		case op == isa.OpFMul || op == isa.OpFDiv:
-			fpMD++
-		case op.IsFP():
-			fpALU++
-		case op.IsLoad():
-			intALU++
-			memPorts++
-		default:
-			intALU++
+		if shadow {
+			s.clearReady(idx)
 		}
+		fu.take(op)
 	}
 	s.waiting = out
-	if allAsleep && len(out) > 0 {
-		s.issueSkipUntil = minWake
+	if shadow && s.simErr == nil && fu.issued < s.cfg.IssueWidth {
+		s.shadowFlush(&ghost, &fu)
 	}
 	if s.tel != nil {
-		s.telIssued += uint64(issued)
+		s.telIssued += uint64(fu.issued)
 	}
 }
 
@@ -379,6 +363,13 @@ func (s *Sim) completeStage() {
 			continue // premature event (data arrived separately)
 		}
 		h.state = stCompleted
+		if s.wakeMode != wakeupScan {
+			// Broadcast-free wakeup: only the consumers parked on this
+			// entry are marked ready. completeStage precedes issueStage,
+			// so they can issue this very cycle, exactly when the scan's
+			// readiness test first sees the completed state.
+			s.wakeConsumers(idx)
+		}
 		if s.tracing {
 			s.traceEvent("CP", h.age, &s.robData[idx].inst, "")
 		}

@@ -1,6 +1,9 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // CheckInvariants verifies the simulator's internal structural invariants.
 // It exists for tests: run a simulation stepwise and call it periodically
@@ -107,6 +110,100 @@ func (s *Sim) CheckInvariants() error {
 		if age != 0 && !s.live(age) {
 			return fmt.Errorf("rename map for r%d points at dead age %d", reg, age)
 		}
+	}
+	if s.wakeMode != wakeupScan {
+		if err := s.checkWakeupInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// checkWakeupInvariants verifies the event-wakeup structures: the ready
+// bitmap's population count, the readiness/parking dichotomy of every
+// waiting entry, and the exact membership and linkage of every consumer
+// list. These are the structures whose silent corruption would make the
+// event scheduler drift from the scan, so the sweep pins them as tightly
+// as the ROB counters above.
+func (s *Sim) checkWakeupInvariants() error {
+	n := len(s.robHot)
+	pop := 0
+	for _, w := range s.readyBM {
+		pop += bits.OnesCount64(w)
+	}
+	if pop != s.readyCnt {
+		return fmt.Errorf("ready bitmap population %d, counter says %d", pop, s.readyCnt)
+	}
+	inWindow := func(idx int) bool {
+		off := idx - s.headIdx
+		if off < 0 {
+			off += n
+		}
+		return off < s.count
+	}
+	parked := 0
+	for idx := 0; idx < n; idx++ {
+		bit := s.readyAt(idx)
+		on := s.consOn[idx]
+		if !inWindow(idx) {
+			switch {
+			case bit:
+				return fmt.Errorf("ready bit set on dead slot %d", idx)
+			case on >= 0:
+				return fmt.Errorf("dead slot %d still parked on producer slot %d", idx, on)
+			case s.consHead[idx] >= 0:
+				return fmt.Errorf("dead slot %d still has consumer list head %d", idx, s.consHead[idx])
+			}
+			continue
+		}
+		h := &s.robHot[idx]
+		if bit && h.state != stWaiting {
+			return fmt.Errorf("ready bit set on non-waiting slot %d (age %d, state %d)", idx, h.age, h.state)
+		}
+		if bit && on >= 0 {
+			return fmt.Errorf("slot %d (age %d) both ready and parked on slot %d", idx, h.age, on)
+		}
+		if h.state == stWaiting && !bit && on < 0 {
+			return fmt.Errorf("waiting slot %d (age %d) neither ready nor parked: it can never issue", idx, h.age)
+		}
+		if on >= 0 {
+			parked++
+			p := &s.robHot[on]
+			if !inWindow(int(on)) {
+				return fmt.Errorf("slot %d parked on dead producer slot %d", idx, on)
+			}
+			if p.state == stCompleted {
+				return fmt.Errorf("slot %d (age %d) parked on completed producer age %d: missed wake", idx, h.age, p.age)
+			}
+			if p.age >= h.age {
+				return fmt.Errorf("slot %d (age %d) parked on non-older producer age %d", idx, h.age, p.age)
+			}
+		}
+	}
+	// Every consumer list must be a well-linked chain whose members are
+	// exactly the slots parked on its owner; summed over all lists that
+	// accounts for every parked slot (so no chain hides a cycle or an
+	// orphan, and no parked slot is missing from its chain).
+	members := 0
+	for p := 0; p < n; p++ {
+		prev := int32(-1)
+		steps := 0
+		for c := s.consHead[p]; c >= 0; c = s.consNext[c] {
+			if steps++; steps > n {
+				return fmt.Errorf("consumer list of slot %d exceeds %d members: chain cycle", p, n)
+			}
+			if s.consOn[c] != int32(p) {
+				return fmt.Errorf("slot %d on consumer list of slot %d but consOn says %d", c, p, s.consOn[c])
+			}
+			if s.consPrev[c] != prev {
+				return fmt.Errorf("consumer list of slot %d: slot %d has prev %d, want %d", p, c, s.consPrev[c], prev)
+			}
+			prev = c
+			members++
+		}
+	}
+	if members != parked {
+		return fmt.Errorf("consumer lists hold %d members, %d slots are parked", members, parked)
 	}
 	return nil
 }

@@ -7,6 +7,7 @@ import (
 	"dmdc/internal/energy"
 	"dmdc/internal/isa"
 	"dmdc/internal/lsq"
+	"dmdc/internal/soundness"
 	"dmdc/internal/trace"
 )
 
@@ -188,5 +189,77 @@ func TestScriptedSafeLoadFlag(t *testing.T) {
 	// stores at all, no checking ever happens.
 	if got := s.result().Stats.Get("windows"); got != 0 {
 		t.Errorf("windows = %v, want 0", got)
+	}
+}
+
+// lateBranchScript is a mispredicted taken branch whose condition hangs off
+// a divide: resolution lands ~20 cycles in with younger work filling the
+// window, so recovery squashes mid-flight instructions.
+func lateBranchScript() []isa.Inst {
+	return []isa.Inst{
+		{Op: isa.OpIDiv, Dest: 8, Src1: 1, Src2: 2},
+		{Op: isa.OpBranch, Dest: isa.RegNone, Src1: 8, Src2: isa.RegNone, Taken: true, Target: 0x40_0100},
+		{Op: isa.OpLoad, Dest: 9, Src1: 2, Src2: isa.RegNone, Addr: 0x1000_0100, Size: 8},
+		{Op: isa.OpIAlu, Dest: 10, Src1: 9, Src2: 2},
+		{Op: isa.OpStore, Dest: isa.RegNone, Src1: 1, Src2: 10, Addr: 0x1000_0108, Size: 8},
+		nop(11), nop(12),
+	}
+}
+
+// replayStormScript chains three premature-load triplets so store-resolve
+// squashes fire back-to-back while younger triplets are mid-issue.
+func replayStormScript() []isa.Inst {
+	var script []isa.Inst
+	for i := 0; i < 3; i++ {
+		addr := uint64(0x1000_0200 + i*8)
+		script = append(script,
+			isa.Inst{Op: isa.OpIDiv, Dest: 8, Src1: 1, Src2: 2},
+			isa.Inst{Op: isa.OpStore, Dest: isa.RegNone, Src1: 8, Src2: 1, Addr: addr, Size: 8},
+			isa.Inst{Op: isa.OpLoad, Dest: int16(9 + i), Src1: 2, Src2: isa.RegNone, Addr: addr, Size: 8},
+			nop(12), nop(13),
+		)
+	}
+	return script
+}
+
+// TestScriptedSquashPointStress sweeps every squash source across cycle
+// alignments: each scenario's script is shifted by 0..13 leading nops, so
+// the squash lands at every offset relative to the issue stage's progress
+// through the ready set. Every run executes under wakeup shadow (both
+// schedulers in lockstep, any pick divergence fails the run) with an
+// every-cycle invariant sweep pinning the bitmap and consumer lists; the
+// whole table also runs under `make race`.
+func TestScriptedSquashPointStress(t *testing.T) {
+	scenarios := []struct {
+		name   string
+		script func() []isa.Inst
+		pol    func(config.Machine, *energy.Model) lsq.Policy
+		opts   []Option
+	}{
+		{name: "mispredict", script: lateBranchScript, pol: camFactory},
+		{name: "replay-storm-cam", script: replayStormScript, pol: camFactory},
+		{name: "replay-storm-dmdc", script: replayStormScript, pol: dmdcFactory},
+		{name: "spurious-fault", script: violationScript, pol: dmdcFactory,
+			opts: []Option{WithFaults(soundness.FaultSpec{SpuriousEvery: 3})}},
+	}
+	for _, sc := range scenarios {
+		sc := sc
+		t.Run(sc.name, func(t *testing.T) {
+			t.Parallel()
+			for offset := 0; offset < 14; offset++ {
+				script := make([]isa.Inst, 0, offset+16)
+				for i := 0; i < offset; i++ {
+					script = append(script, nop(int16(16+i%8)))
+				}
+				script = append(script, sc.script()...)
+				cfg := config.Config2()
+				em := energy.NewModel(cfg.CoreSize())
+				opts := append([]Option{WithWakeupShadow(), WithInvariantChecking(1)}, sc.opts...)
+				s := MustSim(NewWithWorkload(cfg, newScripted(script), sc.pol(cfg, em), em, opts...))
+				if _, err := s.Run(1500); err != nil {
+					t.Fatalf("offset %d: %v", offset, err)
+				}
+			}
+		})
 	}
 }

@@ -1,0 +1,218 @@
+package core
+
+import (
+	"errors"
+	"testing"
+
+	"dmdc/internal/config"
+	"dmdc/internal/energy"
+	"dmdc/internal/isa"
+)
+
+// wakeupSim builds a config2 pipeline over a scripted sequence with extra
+// options — the shadow and invariant knobs the wakeup tests exercise.
+func wakeupSim(insts []isa.Inst, opts ...Option) *Sim {
+	cfg := config.Config2()
+	em := energy.NewModel(cfg.CoreSize())
+	return MustSim(NewWithWorkload(cfg, newScripted(insts), camFactory(cfg, em), em, opts...))
+}
+
+func TestReadyBitmapCounts(t *testing.T) {
+	s := wakeupSim(nil)
+	slots := []int{0, 1, 63, 64, 65, 200, 255}
+	for _, idx := range slots {
+		s.setReady(idx)
+		s.setReady(idx) // idempotent: must not double-count
+	}
+	if s.readyCnt != len(slots) {
+		t.Fatalf("readyCnt = %d after setting %d distinct slots", s.readyCnt, len(slots))
+	}
+	for _, idx := range slots {
+		if !s.readyAt(idx) {
+			t.Errorf("slot %d not ready after setReady", idx)
+		}
+	}
+	if s.readyAt(2) || s.readyAt(66) {
+		t.Error("untouched slots report ready")
+	}
+	for _, idx := range slots {
+		s.clearReady(idx)
+		s.clearReady(idx) // idempotent the other way
+	}
+	if s.readyCnt != 0 {
+		t.Fatalf("readyCnt = %d after clearing every slot", s.readyCnt)
+	}
+}
+
+func TestConsumerChainLinkage(t *testing.T) {
+	s := wakeupSim(nil)
+	const prod = 2
+	for _, c := range []int{5, 6, 7} {
+		s.setReady(c)
+		s.parkOn(c, prod)
+		if s.readyAt(c) {
+			t.Errorf("slot %d still ready after parkOn", c)
+		}
+	}
+	// Chain is head-pushed: 7 -> 6 -> 5.
+	walk := func() []int32 {
+		var got []int32
+		for c := s.consHead[prod]; c >= 0; c = s.consNext[c] {
+			got = append(got, c)
+			if len(got) > 8 {
+				t.Fatal("chain cycle")
+			}
+		}
+		return got
+	}
+	if got := walk(); len(got) != 3 || got[0] != 7 || got[1] != 6 || got[2] != 5 {
+		t.Fatalf("chain after three parks = %v, want [7 6 5]", got)
+	}
+	// Unlink the middle member; neighbours must relink in O(1).
+	s.unpark(6)
+	if got := walk(); len(got) != 2 || got[0] != 7 || got[1] != 5 {
+		t.Fatalf("chain after unparking 6 = %v, want [7 5]", got)
+	}
+	if s.consOn[6] != -1 {
+		t.Error("unparked slot still registered on a producer")
+	}
+	if s.consPrev[5] != 7 || s.consNext[7] != 5 {
+		t.Error("neighbour links not repaired after middle unlink")
+	}
+	s.unpark(6) // double unpark must be a no-op
+	if got := walk(); len(got) != 2 {
+		t.Fatalf("double unpark disturbed the chain: %v", got)
+	}
+	// Unlink the head; the list head must advance.
+	s.unpark(7)
+	if got := walk(); len(got) != 1 || got[0] != 5 {
+		t.Fatalf("chain after unparking head = %v, want [5]", got)
+	}
+	// Re-park one and wake: every remaining member becomes ready, the
+	// list empties, and the unparked members stay asleep.
+	s.parkOn(6, prod)
+	s.wakeConsumers(prod)
+	if s.consHead[prod] != -1 {
+		t.Error("consumer list not emptied by wakeConsumers")
+	}
+	for _, c := range []int32{5, 6} {
+		if !s.readyAt(int(c)) || s.consOn[c] != -1 {
+			t.Errorf("slot %d not woken cleanly (ready=%v, consOn=%d)", c, s.readyAt(int(c)), s.consOn[c])
+		}
+	}
+	if s.readyAt(7) {
+		t.Error("slot 7 was unparked, not woken: its bit must stay clear")
+	}
+}
+
+func TestWakeIterAgeOrder(t *testing.T) {
+	cases := []struct {
+		name    string
+		head    int
+		count   int
+		set     []int // slots to mark ready
+		exclude []int // marked slots outside the window
+		want    []int
+	}{
+		{
+			name: "linear window across word boundaries",
+			head: 10, count: 100,
+			set:     []int{109, 64, 10, 100, 63},
+			exclude: []int{9, 110, 200},
+			want:    []int{10, 63, 64, 100, 109},
+		},
+		{
+			name: "wrapped window yields tail segment then head segment",
+			head: 200, count: 120, // occupies [200,256) then [0,64)
+			set:     []int{63, 5, 255, 0, 200},
+			exclude: []int{199, 64, 100},
+			want:    []int{200, 255, 0, 5, 63},
+		},
+		{
+			name: "empty bitmap",
+			head: 0, count: 256,
+			want: nil,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := wakeupSim(nil)
+			s.headIdx, s.count = tc.head, tc.count
+			for _, idx := range append(append([]int{}, tc.set...), tc.exclude...) {
+				s.setReady(idx)
+			}
+			var it wakeIter
+			s.newWakeIter(&it)
+			var got []int
+			for idx := it.nextSlot(); idx >= 0; idx = it.nextSlot() {
+				got = append(got, idx)
+			}
+			if len(got) != len(tc.want) {
+				t.Fatalf("yielded %v, want %v", got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("yielded %v, want %v", got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestShadowCatchesPlantedDivergence corrupts the event scheduler's state
+// mid-run — clearing the ready bit of a live waiting instruction without
+// parking it, so nothing will ever wake it — and requires shadow mode to
+// fail the run with a *WakeupDivergenceError. This is the test of the
+// instrument itself: the equivalence suite is only convincing if a real
+// divergence provably cannot slip through.
+func TestShadowCatchesPlantedDivergence(t *testing.T) {
+	script := []isa.Inst{
+		{Op: isa.OpIDiv, Dest: 8, Src1: 1, Src2: 2},
+		{Op: isa.OpIAlu, Dest: 9, Src1: 8, Src2: 2},
+		{Op: isa.OpIAlu, Dest: 10, Src1: 9, Src2: 2},
+		nop(11), nop(12), nop(13),
+	}
+	s := wakeupSim(script, WithWakeupShadow())
+	// Step until the window holds a ready waiting instruction, then hide
+	// the oldest one from the event scheduler.
+	planted := false
+	for step := 0; step < 200 && !planted; step++ {
+		s.StepN(1)
+		for k := 0; k < s.count; k++ {
+			idx := (s.headIdx + k) % len(s.robHot)
+			if s.robHot[idx].state == stWaiting && s.readyAt(idx) {
+				s.clearReady(idx)
+				planted = true
+				break
+			}
+		}
+	}
+	if !planted {
+		t.Fatal("no ready waiting instruction appeared to corrupt")
+	}
+	_, err := s.Run(2000)
+	var div *WakeupDivergenceError
+	if !errors.As(err, &div) {
+		t.Fatalf("planted divergence not detected: err = %v", err)
+	}
+	if div.ScanAge == div.EventAge {
+		t.Errorf("divergence error reports equal picks: scan %d, event %d", div.ScanAge, div.EventAge)
+	}
+	if div.Dump == nil {
+		t.Error("divergence error carries no state dump")
+	}
+	// A condemned sim must stay condemned.
+	if _, err := s.Run(100); err == nil {
+		t.Error("poisoned sim ran again cleanly")
+	}
+}
+
+// TestEventWakeupInvariantSweep runs the replay-heavy violation script in
+// pure event mode with an every-cycle invariant sweep: the wakeup bitmap
+// and consumer lists must stay exact through squashes and replays.
+func TestEventWakeupInvariantSweep(t *testing.T) {
+	s := wakeupSim(violationScript(), WithEventWakeup(), WithInvariantChecking(1))
+	if _, err := s.Run(2000); err != nil {
+		t.Fatalf("event-mode run with invariant sweeps failed: %v", err)
+	}
+}

@@ -1,0 +1,85 @@
+package dmdc_test
+
+// Cross-scheduler verification at the facade level. The golden suite pins
+// the event scheduler (the default) byte-for-byte; these tests pin the
+// *relationship* between the two schedulers: shadow mode must see zero
+// pick divergences across the full benchmark set, and a scan run and an
+// event run of the same cell must produce identical fingerprints. The
+// `wakeup-shadow` make target runs the matrix under the race detector as
+// part of `make check`.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"dmdc"
+)
+
+// shadowInsts keeps 26 benchmarks × 2 configs affordable under -race.
+const shadowInsts = 25_000
+
+// TestWakeupShadowMatrix runs every benchmark with both issue schedulers
+// in lockstep — the scan drives, the event scheduler shadows every pick —
+// on the primary paper machine and on the IQ-pressure stress machine
+// (tiny queues, thrashing L1D, slow memory: the regime where wakeup
+// ordering is hardest). Any divergence fails the run with a
+// *dmdc.WakeupDivergenceError.
+func TestWakeupShadowMatrix(t *testing.T) {
+	configs := []dmdc.Machine{dmdc.Config2(), dmdc.ConfigIQPressure()}
+	for _, bench := range dmdc.Benchmarks() {
+		for _, cfg := range configs {
+			bench, cfg := bench, cfg
+			t.Run(fmt.Sprintf("%s/%s", bench, cfg.Name), func(t *testing.T) {
+				t.Parallel()
+				_, err := dmdc.Simulate(cfg, bench, dmdc.PolicyDMDC, shadowInsts,
+					dmdc.WithWakeupShadow())
+				if err != nil {
+					t.Fatalf("shadow run diverged: %v", err)
+				}
+			})
+		}
+	}
+}
+
+// TestWakeupSchedulerEquivalence runs the same cell once under the legacy
+// scan scheduler and once under the event scheduler and requires the full
+// result fingerprints — every cycle count, stat counter, and energy event
+// — to be byte-identical. This is the direct form of the equivalence
+// claim the shadow harness checks incrementally.
+func TestWakeupSchedulerEquivalence(t *testing.T) {
+	configs := []dmdc.Machine{dmdc.Config2(), dmdc.ConfigIQPressure()}
+	policies := []struct {
+		name string
+		kind dmdc.PolicyKind
+	}{
+		{"baseline", dmdc.PolicyBaseline},
+		{"dmdc", dmdc.PolicyDMDC},
+	}
+	for _, bench := range []string{"gzip", "swim"} {
+		for _, cfg := range configs {
+			for _, pol := range policies {
+				bench, cfg, pol := bench, cfg, pol
+				t.Run(fmt.Sprintf("%s/%s/%s", bench, cfg.Name, pol.name), func(t *testing.T) {
+					t.Parallel()
+					run := func(opt dmdc.SimOption) []byte {
+						r, err := dmdc.Simulate(cfg, bench, pol.kind, 30_000, opt)
+						if err != nil {
+							t.Fatalf("simulate: %v", err)
+						}
+						b, err := fingerprint(r)
+						if err != nil {
+							t.Fatal(err)
+						}
+						return b
+					}
+					scan := run(dmdc.WithScanWakeup())
+					event := run(dmdc.WithEventWakeup())
+					if !bytes.Equal(scan, event) {
+						t.Errorf("scan and event schedulers diverged\n%s", goldenDiff(scan, event))
+					}
+				})
+			}
+		}
+	}
+}
