@@ -13,7 +13,13 @@
 #   make chaos       kill/restart durability matrix under -race: SIGKILL a
 #                    real dmdcd mid-matrix with a journal on disk, restart,
 #                    prove zero lost / zero duplicated / byte-identical
-#   make fuzz-short  75s split across the fuzz targets
+#   make sample-check  the checkpoint/sampling gate under -race: byte-exact
+#                    save/restore equivalence over the full golden matrix
+#                    and the mid-pipeline white-box states, the sampled
+#                    error-bound report, the distributed sampled run with a
+#                    mid-run server kill, and the 5M-instruction
+#                    sampled-vs-full speedup acceptance
+#   make fuzz-short  90s split across the fuzz targets
 #   make wakeup-shadow  benchmark matrix with both issue schedulers in
 #                    lockstep under -race: the scan drives, the event
 #                    scheduler shadows every pick, any divergence fails
@@ -28,7 +34,7 @@ GO ?= go
 CACHE_DIR ?= .dmdc-cache
 BENCH_COUNT ?= 5
 
-.PHONY: all build test check vet api-check race soundness alloc-gate chaos wakeup-shadow fuzz-short cover bench bench-smoke bench-all report clean-cache
+.PHONY: all build test check vet api-check race soundness alloc-gate chaos sample-check wakeup-shadow fuzz-short cover bench bench-smoke bench-all report clean-cache
 
 all: build test check
 
@@ -59,7 +65,7 @@ soundness:
 wakeup-shadow:
 	$(GO) test -race -run 'TestWakeupShadowMatrix|TestWakeupSchedulerEquivalence' -count 1 .
 
-# 75 seconds of fuzzing split across the targets (seed corpora always run
+# 90 seconds of fuzzing split across the targets (seed corpora always run
 # as part of tier-1; this explores beyond them).
 fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzPolicySoundness -fuzztime 25s ./internal/lsq/
@@ -67,6 +73,7 @@ fuzz-short:
 	$(GO) test -run '^$$' -fuzz FuzzTraceEventExport -fuzztime 10s ./internal/telemetry/
 	$(GO) test -run '^$$' -fuzz FuzzJournalReplay -fuzztime 15s ./internal/jobstore/
 	$(GO) test -run '^$$' -fuzz FuzzWakeupScanEquivalence -fuzztime 15s ./internal/core/
+	$(GO) test -run '^$$' -fuzz FuzzCheckpointRoundTrip -fuzztime 15s ./internal/core/
 
 # The crash-safety matrix: journal replay edge cases, in-process
 # restart-resume, and a real dmdcd SIGKILLed mid-matrix with its journal
@@ -75,6 +82,17 @@ chaos:
 	$(GO) test -race -count 1 \
 		-run 'TestChaos|TestServerRestartResume|TestJournal|TestCompaction|TestAutoCompaction|TestVersionSkew|TestAppend' \
 		./internal/dserve/ ./internal/jobstore/
+
+# The sampled-execution gate (DESIGN.md §14): byte-exact restore
+# equivalence over the full golden matrix and the mid-pipeline white-box
+# states, the pinned sampled-vs-full error-bound report, and the
+# distributed sampled run with a mid-run server kill — all under -race —
+# then the 5M-instruction speedup acceptance without the race detector's
+# timing skew.
+sample-check:
+	$(GO) test -race -count 1 -run 'TestCheckpoint|TestFastForward|TestSampled|TestDistributedSampled' \
+		. ./internal/core/ ./internal/experiments/ ./internal/dserve/
+	DMDC_SAMPLE_SPEEDUP=1 $(GO) test -count 1 -run 'TestSampledSpeedup' -v ./internal/experiments/
 
 # Whole-module coverage with a per-package summary; the total line is the
 # number `check` prints at the end.
@@ -94,7 +112,7 @@ api-check:
 alloc-gate:
 	$(GO) test -run 'TestAllocationBudget' -count 1 .
 
-check: vet api-check race soundness alloc-gate chaos wakeup-shadow bench-smoke fuzz-short cover
+check: vet api-check race soundness alloc-gate chaos sample-check wakeup-shadow bench-smoke fuzz-short cover
 
 # Core-simulator throughput, recorded. Medians over BENCH_COUNT repetitions
 # land in the "current" section of BENCH_core.json; the "pre_pr8" section
@@ -102,11 +120,12 @@ check: vet api-check race soundness alloc-gate chaos wakeup-shadow bench-smoke f
 # pre-SoA/arena, "pre_pr3" pre-optimization), which the speedup ratios
 # compare against.
 bench:
-	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC|Telemetry)$$' -benchtime 30x -count $(BENCH_COUNT) -benchmem . \
+	( $(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC|Telemetry)$$' -benchtime 30x -count $(BENCH_COUNT) -benchmem . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSim(Full|Sampled)5M$$' -benchtime 1x -count $(BENCH_COUNT) -benchmem . ) \
 		| tee /dev/stderr | $(GO) run ./cmd/benchjson -out BENCH_core.json -base pre_pr8
 
 bench-smoke:
-	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC|Telemetry)$$' -benchtime 1x .
+	$(GO) test -run '^$$' -bench 'BenchmarkSim(Baseline|DMDC|Telemetry|Sampled5M)$$' -benchtime 1x .
 
 bench-all:
 	$(GO) test -bench . -benchtime 1x -run xxx ./...

@@ -7,6 +7,7 @@ package dmdc_test
 // For publication-scale numbers use cmd/experiments with -insts 1000000+.
 
 import (
+	"context"
 	"testing"
 
 	"dmdc"
@@ -161,6 +162,50 @@ func BenchmarkSimTelemetry(b *testing.B) {
 		if len(sampler.Snapshot().Samples) == 0 {
 			b.Fatal("sampler recorded nothing")
 		}
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(insts)/sec, "insts/s")
+	}
+}
+
+// BenchmarkSimFull5M is the full-detail side of the sampled-execution
+// acceptance pair recorded in BENCH_core.json: one 5M-instruction
+// detailed run (Config2, gcc, DMDC).
+func BenchmarkSimFull5M(b *testing.B) {
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.ExecuteJob(context.Background(), experiments.JobSpec{
+			Machine: dmdc.Config2(), Policy: "dmdc", Benchmark: "gcc", Insts: 5_000_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.Insts
+	}
+	if sec := b.Elapsed().Seconds(); sec > 0 {
+		b.ReportMetric(float64(insts)/sec, "insts/s")
+	}
+}
+
+// BenchmarkSimSampled5M is the sampled side of the pair: the same 5M
+// logical instructions as 20 detailed 10k-instruction intervals with
+// fully warmed fast-forward between them (DESIGN.md §14). Its ns/op
+// against BenchmarkSimFull5M is the sampled-mode speedup; insts/s counts
+// logical (fast-forwarded + detailed) instructions.
+func BenchmarkSimSampled5M(b *testing.B) {
+	var insts uint64
+	for i := 0; i < b.N; i++ {
+		res, err := experiments.RunSampled(context.Background(), experiments.SampleSpec{
+			Job: experiments.JobSpec{
+				Machine: dmdc.Config2(), Policy: "dmdc", Benchmark: "gcc", Insts: 5_000_000,
+			},
+			Intervals:     20,
+			IntervalInsts: 10_000,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		insts += res.TotalInsts
 	}
 	if sec := b.Elapsed().Seconds(); sec > 0 {
 		b.ReportMetric(float64(insts)/sec, "insts/s")

@@ -50,6 +50,9 @@ func main() {
 		telStrid = flag.Uint64("telemetry-stride", 0, "telemetry sample interval in cycles (0 = default; setting it enables telemetry)")
 		showAll  = flag.Bool("stats", false, "print every statistic")
 		list     = flag.Bool("list", false, "list benchmarks and exit")
+		saveCkpt = flag.String("save-checkpoint", "", "after the run, save the simulator state to this file (fails closed when the run used options the checkpoint format cannot capture)")
+		restCkpt = flag.String("restore-checkpoint", "", "restore simulator state from this file before the run (-insts then continues from the restored point)")
+		ffInsts  = flag.Uint64("fastforward", 0, "functionally execute this many instructions (warming caches, predictor, and filters) before detailed simulation")
 	)
 	flag.Parse()
 
@@ -127,6 +130,21 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	if *restCkpt != "" {
+		blob, err := os.ReadFile(*restCkpt)
+		if err != nil {
+			fatal(err)
+		}
+		if err := sim.RestoreCheckpoint(blob); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dmdcsim: restored %s (%d bytes)\n", *restCkpt, len(blob))
+	}
+	if *ffInsts > 0 {
+		if err := sim.FastForward(*ffInsts, true); err != nil {
+			fatal(err)
+		}
+	}
 	r, err := sim.Run(*insts)
 	if err != nil {
 		var se *soundness.SoundnessError
@@ -156,6 +174,16 @@ func main() {
 	}
 	if sampler != nil {
 		reportTelemetry(sampler.Snapshot(), *telOut)
+	}
+	if *saveCkpt != "" {
+		blob, err := sim.SaveCheckpoint()
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*saveCkpt, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dmdcsim: wrote checkpoint %s (%d bytes)\n", *saveCkpt, len(blob))
 	}
 }
 

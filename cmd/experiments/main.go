@@ -14,9 +14,19 @@
 //	experiments -out report.txt -v
 //	experiments -cache-dir ~/.cache/dmdc -only figure4   # warm re-runs are instant
 //	experiments -cache-dir ~/.cache/dmdc -cache-clear
+//
+// Sampled mode (-sample-intervals) runs one cell as a checkpointed
+// interval-sampling job instead of full detailed simulation: the gaps are
+// fast-forwarded functionally (warming caches, predictor, and filters) and
+// only the intervals run in detail, in-process or across -backends:
+//
+//	experiments -sample-intervals 20 -interval-insts 10000 -insts 100000000 \
+//	    -sample-bench gcc -sample-policy dmdc
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"expvar"
 	"flag"
 	"fmt"
@@ -28,6 +38,7 @@ import (
 	"strings"
 	"time"
 
+	"dmdc/internal/config"
 	"dmdc/internal/dserve"
 	"dmdc/internal/experiments"
 	"dmdc/internal/resultcache"
@@ -60,6 +71,13 @@ func main() {
 		inflight   = flag.Int("inflight", 0, "with -backends: concurrent jobs per backend (0 = 4)")
 		hedgeAfter = flag.Duration("hedge-after", 0, "with -backends: re-dispatch a still-running job on a second backend after this delay (0 disables hedging)")
 		tenant     = flag.String("tenant", "", "with -backends: identify as this tenant (X-DMDC-Tenant header) for fair-share admission on the servers")
+
+		sampleIntervals = flag.Int("sample-intervals", 0, "sampled mode: fast-forward between this many detailed intervals instead of simulating -insts in full (runs one cell; see -sample-bench/-sample-config/-sample-policy)")
+		intervalInsts   = flag.Uint64("interval-insts", 10_000, "sampled mode: detailed instructions per interval")
+		warmup          = flag.Uint64("warmup", 0, "sampled mode: warmed fast-forward instructions before each interval (0 = warm the whole gap)")
+		sampleBench     = flag.String("sample-bench", "gcc", "sampled mode: benchmark")
+		sampleConfig    = flag.String("sample-config", "config2", "sampled mode: machine configuration")
+		samplePolicy    = flag.String("sample-policy", "dmdc", "sampled mode: canonical policy name")
 	)
 	flag.Parse()
 
@@ -134,6 +152,15 @@ func main() {
 		}
 		opts.Backend = disp
 	}
+	if *sampleIntervals > 0 {
+		runSampled(sampledArgs{
+			intervals: *sampleIntervals, intervalInsts: *intervalInsts, warmup: *warmup,
+			bench: *sampleBench, machine: *sampleConfig, policy: *samplePolicy,
+			insts: *insts, par: *par, backend: disp, out: *out,
+		})
+		return
+	}
+
 	suite, err := experiments.NewSuite(opts)
 	if err != nil {
 		die(err)
@@ -225,6 +252,65 @@ func main() {
 		}
 	}
 	checkRuns(suite)
+}
+
+// sampledArgs packages the sampled-mode flag values.
+type sampledArgs struct {
+	intervals     int
+	intervalInsts uint64
+	warmup        uint64
+	bench         string
+	machine       string
+	policy        string
+	insts         uint64
+	par           int
+	backend       *dserve.Dispatcher
+	out           string
+}
+
+// runSampled executes one sampled-mode logical run (DESIGN.md §14) and
+// prints the aggregated SampledResult as canonical JSON: one functional
+// pass checkpoints each sample point, and the detailed intervals run as
+// content-addressed jobs — in-process, or sharded across -backends.
+func runSampled(a sampledArgs) {
+	m, err := config.ByName(a.machine)
+	if err != nil {
+		die(err)
+	}
+	sp := experiments.SampleSpec{
+		Job:           experiments.JobSpec{Machine: m, Policy: a.policy, Benchmark: a.bench, Insts: a.insts},
+		Intervals:     a.intervals,
+		IntervalInsts: a.intervalInsts,
+		Warmup:        a.warmup,
+		Parallelism:   a.par,
+	}
+	if a.backend != nil {
+		sp.Backend = a.backend
+	}
+	start := time.Now()
+	r, err := experiments.RunSampled(context.Background(), sp)
+	if err != nil {
+		die(err)
+	}
+	b, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		die(err)
+	}
+	b = append(b, '\n')
+	os.Stdout.Write(b)
+	fmt.Fprintf(os.Stderr, "elapsed: %s — %d detailed insts of %d (%.1f%%), estimated %d cycles\n",
+		time.Since(start).Round(time.Millisecond), r.MeasuredInsts, r.TotalInsts,
+		100*float64(r.MeasuredInsts)/float64(r.TotalInsts), r.EstimatedCycles)
+	if a.backend != nil {
+		st := a.backend.Stats()
+		fmt.Fprintf(os.Stderr, "backends: %d dispatched, %d retries, %d hedges, %d deduped\n",
+			st.Dispatched, st.Retries, st.Hedges, st.Deduped)
+	}
+	if a.out != "" {
+		if err := os.WriteFile(a.out, b, 0o644); err != nil {
+			die(err)
+		}
+	}
 }
 
 // serveLive starts the observability endpoint in the background: the

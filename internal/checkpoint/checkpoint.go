@@ -1,0 +1,419 @@
+// Package checkpoint defines the on-disk format for simulator state
+// snapshots: a magic-tagged, CRC-protected, versioned byte stream with a
+// small typed encoder/decoder pair on top.
+//
+// Layout:
+//
+//	offset 0  magic   "DMDCCKPT" (8 bytes)
+//	offset 8  crc32   IEEE, over everything after the checksum (4 bytes LE)
+//	offset 12 version format version (4 bytes LE)
+//	offset 16 payload little-endian primitive stream
+//
+// The checksum covers the version word so a corrupted version is reported
+// as a checksum failure, while a deliberately re-checksummed version skew
+// is reported as a version mismatch — the two failure modes stay
+// distinguishable in tests and in the field.
+//
+// The format is fail-closed: every structural anomaly (truncation, bad
+// magic, checksum mismatch, unknown version, over-read, trailing bytes,
+// malformed values) surfaces as a typed *FormatError. Restoring from a
+// checkpoint never guesses.
+//
+// The payload is a canonical encoding: for any state S, encode(S) is a
+// single byte string, and decode validates everything it does not
+// faithfully re-emit (sorted map keys, 0/1 booleans, in-range indices).
+// That gives the round-trip property FuzzCheckpointRoundTrip pins:
+// decode(b) either fails typed or re-encodes to exactly b.
+package checkpoint
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+
+	"dmdc/internal/xrand"
+)
+
+// FormatVersion is the current checkpoint payload version. Bump it on any
+// payload layout change; old versions are rejected, never migrated — a
+// checkpoint is a cache of a reproducible computation, not an archive.
+const FormatVersion = 1
+
+// headerSize is the fixed prefix before the payload: magic, crc, version.
+const headerSize = 16
+
+var magic = [8]byte{'D', 'M', 'D', 'C', 'C', 'K', 'P', 'T'}
+
+// ErrKind classifies a checkpoint format failure.
+type ErrKind int
+
+// Format failure kinds.
+const (
+	// Truncated: the byte stream ends before the fixed header or before a
+	// value the payload schema requires.
+	Truncated ErrKind = iota
+	// BadMagic: the stream does not start with the checkpoint magic — it
+	// is not a checkpoint at all (a "foreign payload").
+	BadMagic
+	// Checksum: the CRC over version+payload does not match; the stream
+	// was corrupted after it was written.
+	Checksum
+	// Version: the stream is well-formed but written by a different,
+	// unsupported format version.
+	Version
+	// Corrupt: the frame is intact (magic, checksum, version all good)
+	// but the payload violates the schema — an impossible length, an
+	// out-of-range value, a wrong section marker, or trailing bytes.
+	Corrupt
+	// Mismatch: the payload decodes cleanly but was captured from an
+	// incompatible simulation (different machine config, workload, seed,
+	// policy, or feature set than the restore target).
+	Mismatch
+)
+
+var kindNames = map[ErrKind]string{
+	Truncated: "truncated",
+	BadMagic:  "bad magic",
+	Checksum:  "checksum mismatch",
+	Version:   "version mismatch",
+	Corrupt:   "corrupt payload",
+	Mismatch:  "state mismatch",
+}
+
+// String returns a short name for the kind.
+func (k ErrKind) String() string {
+	if s, ok := kindNames[k]; ok {
+		return s
+	}
+	return fmt.Sprintf("errkind(%d)", int(k))
+}
+
+// FormatError is the typed error for every checkpoint decode failure.
+// Kind classifies the failure, Section names the payload section being
+// decoded when it happened (empty for frame-level failures), and Detail
+// is a human-readable specific.
+type FormatError struct {
+	Kind    ErrKind
+	Section string
+	Detail  string
+}
+
+// Error implements error.
+func (e *FormatError) Error() string {
+	if e.Section != "" {
+		return fmt.Sprintf("checkpoint: %s in section %q: %s", e.Kind, e.Section, e.Detail)
+	}
+	return fmt.Sprintf("checkpoint: %s: %s", e.Kind, e.Detail)
+}
+
+// Corruptf builds a Corrupt-kind FormatError for the given section.
+func Corruptf(section, format string, args ...any) *FormatError {
+	return &FormatError{Kind: Corrupt, Section: section, Detail: fmt.Sprintf(format, args...)}
+}
+
+// Mismatchf builds a Mismatch-kind FormatError for the given section.
+func Mismatchf(section, format string, args ...any) *FormatError {
+	return &FormatError{Kind: Mismatch, Section: section, Detail: fmt.Sprintf(format, args...)}
+}
+
+// sectionMark separates payload sections; it precedes each section tag so
+// a desynchronized decode fails fast instead of misreading unrelated state.
+const sectionMark = 0xA5
+
+// Encoder builds a checkpoint byte stream. All writes append; call Finish
+// to seal the frame (magic, checksum, version) and take the bytes.
+type Encoder struct {
+	buf []byte
+}
+
+// NewEncoder returns an encoder with the frame header reserved.
+func NewEncoder() *Encoder {
+	e := &Encoder{buf: make([]byte, headerSize, 4096)}
+	return e
+}
+
+// Section writes a section boundary with the given tag. The decoder must
+// consume the same tags in the same order.
+func (e *Encoder) Section(tag string) {
+	e.U8(sectionMark)
+	e.String(tag)
+}
+
+// U8 appends one byte.
+func (e *Encoder) U8(v uint8) { e.buf = append(e.buf, v) }
+
+// U16 appends a little-endian uint16.
+func (e *Encoder) U16(v uint16) { e.buf = binary.LittleEndian.AppendUint16(e.buf, v) }
+
+// U32 appends a little-endian uint32.
+func (e *Encoder) U32(v uint32) { e.buf = binary.LittleEndian.AppendUint32(e.buf, v) }
+
+// U64 appends a little-endian uint64.
+func (e *Encoder) U64(v uint64) { e.buf = binary.LittleEndian.AppendUint64(e.buf, v) }
+
+// I64 appends a little-endian int64 (two's complement).
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// I32 appends a little-endian int32 (two's complement).
+func (e *Encoder) I32(v int32) { e.U32(uint32(v)) }
+
+// I16 appends a little-endian int16 (two's complement).
+func (e *Encoder) I16(v int16) { e.U16(uint16(v)) }
+
+// Int appends an int as an int64.
+func (e *Encoder) Int(v int) { e.I64(int64(v)) }
+
+// Bool appends a bool as a single 0/1 byte.
+func (e *Encoder) Bool(v bool) {
+	if v {
+		e.U8(1)
+	} else {
+		e.U8(0)
+	}
+}
+
+// F64 appends a float64 by its IEEE-754 bit pattern.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bytes appends a length-prefixed byte string.
+func (e *Encoder) Bytes(b []byte) {
+	e.U32(uint32(len(b)))
+	e.buf = append(e.buf, b...)
+}
+
+// String appends a length-prefixed string.
+func (e *Encoder) String(s string) {
+	e.U32(uint32(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+// Rand appends the full state of a deterministic RNG.
+func (e *Encoder) Rand(r *xrand.Rand) {
+	st := r.State()
+	e.Int(st.Tap)
+	e.Int(st.Feed)
+	for _, v := range st.Vec {
+		e.I64(v)
+	}
+}
+
+// Finish seals the frame and returns the complete checkpoint bytes. The
+// encoder must not be used afterwards.
+func (e *Encoder) Finish() []byte {
+	copy(e.buf[0:8], magic[:])
+	binary.LittleEndian.PutUint32(e.buf[12:16], FormatVersion)
+	crc := crc32.ChecksumIEEE(e.buf[12:])
+	binary.LittleEndian.PutUint32(e.buf[8:12], crc)
+	return e.buf
+}
+
+// Decoder reads a checkpoint byte stream. Errors are sticky: after the
+// first failure every subsequent read returns zero values, and Err
+// reports the failure. Callers may batch reads and check Err once per
+// section.
+type Decoder struct {
+	buf     []byte
+	off     int
+	err     *FormatError
+	section string
+}
+
+// NewDecoder validates the frame (length, magic, checksum, version) and
+// returns a decoder positioned at the start of the payload.
+func NewDecoder(b []byte) (*Decoder, error) {
+	if len(b) < headerSize {
+		return nil, &FormatError{Kind: Truncated, Detail: fmt.Sprintf("stream is %d bytes, frame header needs %d", len(b), headerSize)}
+	}
+	if string(b[0:8]) != string(magic[:]) {
+		return nil, &FormatError{Kind: BadMagic, Detail: fmt.Sprintf("magic %q is not a checkpoint", b[0:8])}
+	}
+	wantCRC := binary.LittleEndian.Uint32(b[8:12])
+	gotCRC := crc32.ChecksumIEEE(b[12:])
+	if wantCRC != gotCRC {
+		return nil, &FormatError{Kind: Checksum, Detail: fmt.Sprintf("crc32 %#08x, stream says %#08x", gotCRC, wantCRC)}
+	}
+	ver := binary.LittleEndian.Uint32(b[12:16])
+	if ver != FormatVersion {
+		return nil, &FormatError{Kind: Version, Detail: fmt.Sprintf("format version %d, this build reads version %d", ver, FormatVersion)}
+	}
+	return &Decoder{buf: b, off: headerSize}, nil
+}
+
+// Err returns the first decode failure, or nil.
+func (d *Decoder) Err() error {
+	if d.err == nil {
+		return nil
+	}
+	return d.err
+}
+
+// fail records the first error.
+func (d *Decoder) fail(kind ErrKind, format string, args ...any) {
+	if d.err == nil {
+		d.err = &FormatError{Kind: kind, Section: d.section, Detail: fmt.Sprintf(format, args...)}
+	}
+}
+
+// Remaining returns the number of unread payload bytes.
+func (d *Decoder) Remaining() int { return len(d.buf) - d.off }
+
+// take returns the next n bytes, or nil after recording a truncation.
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if d.Remaining() < n {
+		d.fail(Truncated, "need %d bytes, %d left", n, d.Remaining())
+		return nil
+	}
+	b := d.buf[d.off : d.off+n]
+	d.off += n
+	return b
+}
+
+// Section consumes a section boundary and requires the given tag.
+func (d *Decoder) Section(tag string) {
+	if m := d.U8(); d.err == nil && m != sectionMark {
+		d.fail(Corrupt, "expected section marker for %q, got byte %#x", tag, m)
+		return
+	}
+	got := d.String()
+	if d.err == nil && got != tag {
+		d.fail(Corrupt, "expected section %q, got %q", tag, got)
+		return
+	}
+	d.section = tag
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	b := d.take(1)
+	if b == nil {
+		return 0
+	}
+	return b[0]
+}
+
+// U16 reads a little-endian uint16.
+func (d *Decoder) U16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(b)
+}
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(b)
+}
+
+// U64 reads a little-endian uint64.
+func (d *Decoder) U64() uint64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(b)
+}
+
+// I64 reads a little-endian int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// I32 reads a little-endian int32.
+func (d *Decoder) I32() int32 { return int32(d.U32()) }
+
+// I16 reads a little-endian int16.
+func (d *Decoder) I16() int16 { return int16(d.U16()) }
+
+// Int reads an int64 into an int.
+func (d *Decoder) Int() int { return int(d.I64()) }
+
+// Bool reads a 0/1 byte; any other value is Corrupt.
+func (d *Decoder) Bool() bool {
+	v := d.U8()
+	if d.err == nil && v > 1 {
+		d.fail(Corrupt, "bool byte %#x is neither 0 nor 1", v)
+		return false
+	}
+	return v == 1
+}
+
+// F64 reads a float64 from its bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Count reads a length prefix and sanity-checks it: it must not exceed
+// max, and the remaining payload must plausibly hold that many values
+// (at least one byte each), so a corrupted length cannot drive a huge
+// allocation.
+func (d *Decoder) Count(max int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if n > max {
+		d.fail(Corrupt, "count %d exceeds maximum %d", n, max)
+		return 0
+	}
+	if n > d.Remaining() {
+		d.fail(Corrupt, "count %d exceeds %d remaining bytes", n, d.Remaining())
+		return 0
+	}
+	return n
+}
+
+// Bytes reads a length-prefixed byte string (copied out of the stream).
+func (d *Decoder) Bytes(max int) []byte {
+	n := d.Count(max)
+	b := d.take(n)
+	if b == nil {
+		return nil
+	}
+	out := make([]byte, n)
+	copy(out, b)
+	return out
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string {
+	n := d.Count(1 << 20)
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
+
+// Rand reads RNG state written by Encoder.Rand into r.
+func (d *Decoder) Rand(r *xrand.Rand) {
+	var st xrand.State
+	st.Tap = d.Int()
+	st.Feed = d.Int()
+	for i := range st.Vec {
+		st.Vec[i] = d.I64()
+	}
+	if d.err != nil {
+		return
+	}
+	if err := r.SetState(st); err != nil {
+		d.fail(Corrupt, "rng state: %v", err)
+	}
+}
+
+// Finish verifies the whole payload was consumed. Trailing bytes mean the
+// writer and reader disagree about the schema — fail closed.
+func (d *Decoder) Finish() error {
+	if d.err != nil {
+		return d.err
+	}
+	if d.Remaining() != 0 {
+		d.fail(Corrupt, "%d trailing bytes after payload", d.Remaining())
+		return d.err
+	}
+	return nil
+}

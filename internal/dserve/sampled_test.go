@@ -1,0 +1,112 @@
+package dserve
+
+import (
+	"context"
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"dmdc/internal/config"
+	"dmdc/internal/experiments"
+)
+
+// TestDistributedSampledEqualsLocal is the sampled-mode counterpart of
+// TestDistributedEqualsLocal, with chaos folded in: one logical run's
+// detailed intervals are sharded as content-addressed checkpoint jobs
+// across two real dmdcd servers, one of which is killed mid-run. The
+// aggregated SampledResult must be byte-identical to a single-process
+// sampled run — every interval delivered exactly once, none lost to the
+// killed server, none duplicated across the fleet.
+func TestDistributedSampledEqualsLocal(t *testing.T) {
+	t.Parallel()
+	sp := experiments.SampleSpec{
+		Job: experiments.JobSpec{
+			Machine: config.Config1(), Policy: "dmdc", Benchmark: "gcc", Insts: 160_000,
+		},
+		Intervals:     8,
+		IntervalInsts: 4_000,
+	}
+
+	local, err := experiments.RunSampled(context.Background(), sp)
+	if err != nil {
+		t.Fatalf("local sampled run: %v", err)
+	}
+
+	// Both servers share one content-addressed cache, so an interval whose
+	// result was computed but never delivered (server killed between
+	// execute and fetch) is answered from the cache on re-dispatch.
+	cache := openTestCache(t)
+	srv1 := newTestServer(t, ServerConfig{Workers: 2, Cache: cache})
+	ts1 := httptest.NewServer(srv1)
+	defer ts1.Close()
+	defer srv1.Close()
+	srv2 := newTestServer(t, ServerConfig{Workers: 2, Cache: cache})
+	defer srv2.Close()
+	ts2 := httptest.NewServer(srv2)
+	defer ts2.Close()
+
+	d, err := NewDispatcher(DispatcherConfig{
+		Backends: []experiments.Backend{
+			NewRemote(ts1.URL, nil),
+			NewRemote(ts2.URL, nil),
+		},
+		PerBackendInflight: 2,
+		MaxAttempts:        10,
+		RetryBase:          2 * time.Millisecond,
+		RetryMax:           50 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Kill server 1 after its first completed interval: in-flight jobs
+	// fail retryably and must land on server 2.
+	killed := make(chan struct{})
+	go func() {
+		defer close(killed)
+		deadline := time.Now().Add(time.Minute)
+		for srv1.Executed() < 1 && time.Now().Before(deadline) {
+			time.Sleep(2 * time.Millisecond)
+		}
+		srv1.Close()
+		ts1.CloseClientConnections()
+	}()
+
+	dsp := sp
+	dsp.Backend = d
+	remote, err := experiments.RunSampled(context.Background(), dsp)
+	<-killed
+	if err != nil {
+		t.Fatalf("distributed sampled run: %v", err)
+	}
+
+	lb, err := json.MarshalIndent(local, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rb, err := json.MarshalIndent(remote, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(lb) != string(rb) {
+		t.Errorf("distributed sampled result diverged from local:\nlocal:\n%s\nremote:\n%s", lb, rb)
+	}
+
+	// Zero lost: the aggregate carries every interval in order.
+	if len(remote.Intervals) != sp.Intervals {
+		t.Fatalf("%d intervals delivered, want %d", len(remote.Intervals), sp.Intervals)
+	}
+	for i, iv := range remote.Intervals {
+		if iv.Index != i {
+			t.Errorf("interval %d carries index %d", i, iv.Index)
+		}
+	}
+	// Zero duplicated: the shared cache and content-addressed interval
+	// jobs mean each unique interval simulated at most once fleet-wide.
+	if e1, e2 := srv1.Executed(), srv2.Executed(); e1+e2 > uint64(sp.Intervals) {
+		t.Errorf("fleet executed %d+%d interval jobs for %d unique intervals (duplicates)", e1, e2, sp.Intervals)
+	} else if e2 == 0 {
+		t.Errorf("intervals were not resharded after the kill: server split %d/%d", e1, e2)
+	}
+}

@@ -2,6 +2,8 @@ package experiments
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"fmt"
 	"strings"
 
@@ -51,6 +53,16 @@ type JobSpec struct {
 	Faults string `json:"faults,omitempty"`
 	// WatchdogCycles overrides the forward-progress budget (0 = default).
 	WatchdogCycles uint64 `json:"watchdog_cycles,omitempty"`
+	// Checkpoint is a serialized simulator state (internal/checkpoint
+	// record) to restore before running; Insts then counts instructions
+	// committed after the restore point. Checkpoint jobs are the unit of
+	// sampled-mode interval sharding. JSON carries it base64-encoded.
+	Checkpoint []byte `json:"checkpoint,omitempty"`
+	// CheckpointRef is the hex SHA-256 of Checkpoint: the interval's
+	// content address. The executing side re-hashes the payload and
+	// refuses a mismatch, so a corrupted or swapped blob can never be
+	// silently simulated.
+	CheckpointRef string `json:"checkpoint_ref,omitempty"`
 }
 
 // Validate reports the first problem with the spec, or nil.
@@ -90,6 +102,22 @@ func (j JobSpec) Validate() error {
 			return err
 		}
 	}
+	if (len(j.Checkpoint) == 0) != (j.CheckpointRef == "") {
+		return fmt.Errorf("experiments: checkpoint payload and checkpoint_ref must be set together")
+	}
+	if len(j.Checkpoint) > 0 {
+		// Checkpoint jobs restore exact simulator state; every option that
+		// the checkpoint format refuses to capture is refused here too.
+		if j.Policy == "" {
+			return fmt.Errorf("experiments: checkpoint jobs must name a policy, not a run key")
+		}
+		if j.Soundness {
+			return fmt.Errorf("experiments: checkpoint jobs cannot attach the soundness oracle")
+		}
+		if j.Faults != "" {
+			return fmt.Errorf("experiments: checkpoint jobs cannot inject faults")
+		}
+	}
 	return nil
 }
 
@@ -109,11 +137,12 @@ func (j JobSpec) CacheKey() string {
 		machine = sp.machine
 	}
 	return resultcache.Key(resultcache.KeySpec{
-		Machine:   machine,
-		RunKey:    runKey,
-		Benchmark: j.Benchmark,
-		Insts:     j.Insts,
-		Faults:    j.Faults,
+		Machine:       machine,
+		RunKey:        runKey,
+		Benchmark:     j.Benchmark,
+		Insts:         j.Insts,
+		Faults:        j.Faults,
+		CheckpointRef: j.CheckpointRef,
 	})
 }
 
@@ -255,6 +284,11 @@ func ExecuteJobWithSampler(ctx context.Context, j JobSpec, sampler *telemetry.Sa
 	if err := j.Validate(); err != nil {
 		return nil, err
 	}
+	if len(j.Checkpoint) > 0 {
+		// Restored intervals never attach a sampler: telemetry is one of
+		// the subsystems the checkpoint format fails closed on.
+		return executeRestored(ctx, j)
+	}
 	sp, err := specForJob(j)
 	if err != nil {
 		return nil, err
@@ -272,4 +306,42 @@ func ExecuteJobWithSampler(ctx context.Context, j JobSpec, sampler *telemetry.Sa
 		watchdog:  j.WatchdogCycles,
 		sampler:   sampler,
 	})
+}
+
+// executeRestored runs a checkpoint job: construct the cell exactly like
+// executeCell's policy path (minus every option the checkpoint format
+// refuses), verify the payload against its content address, restore, and
+// run the interval. The construction order matters — it mirrors the
+// scheduler that produced the checkpoint, so restored state lands in an
+// identically shaped simulation.
+func executeRestored(ctx context.Context, j JobSpec) (*core.Result, error) {
+	sum := sha256.Sum256(j.Checkpoint)
+	if ref := hex.EncodeToString(sum[:]); ref != j.CheckpointRef {
+		return nil, fmt.Errorf("experiments: checkpoint payload hashes to %s, job says %s", ref, j.CheckpointRef)
+	}
+	prof, err := trace.ByName(j.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	f, err := PolicyFactoryByName(j.Policy)
+	if err != nil {
+		return nil, err
+	}
+	em := energy.NewModel(j.Machine.CoreSize())
+	pol, err := f(j.Machine, em)
+	if err != nil {
+		return nil, err
+	}
+	var opts []core.Option
+	if j.WatchdogCycles > 0 {
+		opts = append(opts, core.WithWatchdog(j.WatchdogCycles))
+	}
+	sim, err := core.New(j.Machine, prof, pol, em, opts...)
+	if err != nil {
+		return nil, err
+	}
+	if err := sim.RestoreCheckpoint(j.Checkpoint); err != nil {
+		return nil, err
+	}
+	return sim.RunContext(ctx, j.Insts)
 }

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"dmdc/internal/core"
+	"dmdc/internal/energy"
+	"dmdc/internal/trace"
+)
+
+// SampleSpec describes one sampled-mode logical run: a long run whose
+// detailed simulation is limited to a set of evenly spaced intervals,
+// with functional fast-forward (optionally warming caches, predictor,
+// and YLA filters) covering the distance between them.
+//
+// The run is split into Intervals periods of Job.Insts/Intervals
+// instructions; the last IntervalInsts of each period are simulated in
+// detail, the rest are fast-forwarded. Warmup controls how much of each
+// fast-forwarded gap warms microarchitectural state: 0 warms the entire
+// gap, W > 0 skips cold to W instructions before the interval and warms
+// only those.
+//
+// Each detailed interval is checkpointed and becomes an independent
+// content-addressed JobSpec (checkpoint blob + interval budget), so the
+// intervals of one logical run can be sharded across dserve backends
+// exactly like ordinary matrix cells.
+type SampleSpec struct {
+	// Job is the base cell in Policy form; Job.Insts is the total logical
+	// run length. Soundness, faults, and run keys are rejected — the
+	// checkpoint format fails closed on all of them.
+	Job JobSpec
+	// Intervals is the number of detailed intervals.
+	Intervals int
+	// IntervalInsts is the detailed-instruction budget per interval.
+	IntervalInsts uint64
+	// Warmup bounds warmed fast-forward instructions before each interval
+	// (0 = warm every fast-forwarded instruction).
+	Warmup uint64
+	// Backend executes interval jobs; nil runs them in process through
+	// the same ExecuteJob path a dmdcd server uses.
+	Backend Backend
+	// Parallelism bounds concurrent interval executions (0 = 4).
+	Parallelism int
+}
+
+// Validate reports the first problem with the spec, or nil.
+func (sp SampleSpec) Validate() error {
+	if sp.Job.Policy == "" {
+		return fmt.Errorf("experiments: sampled runs need a policy-form job")
+	}
+	if len(sp.Job.Checkpoint) > 0 || sp.Job.CheckpointRef != "" {
+		return fmt.Errorf("experiments: sampled base job must not itself carry a checkpoint")
+	}
+	if err := sp.Job.Validate(); err != nil {
+		return err
+	}
+	if sp.Job.Soundness || sp.Job.Faults != "" {
+		return fmt.Errorf("experiments: sampled runs cannot attach soundness or faults")
+	}
+	if sp.Intervals <= 0 {
+		return fmt.Errorf("experiments: sampled run needs a positive interval count")
+	}
+	if sp.IntervalInsts == 0 {
+		return fmt.Errorf("experiments: sampled run needs a positive interval length")
+	}
+	period := sp.Job.Insts / uint64(sp.Intervals)
+	if period < sp.IntervalInsts {
+		return fmt.Errorf("experiments: %d intervals of %d insts do not fit in %d insts",
+			sp.Intervals, sp.IntervalInsts, sp.Job.Insts)
+	}
+	return nil
+}
+
+// Interval is one measured slice of a sampled run.
+type Interval struct {
+	Index     int    `json:"index"`
+	StartInst uint64 `json:"start_inst"` // committed instructions before the interval
+	Insts     uint64 `json:"insts"`
+	Cycles    uint64 `json:"cycles"`
+	Replays   uint64 `json:"replays"`
+	// CheckpointRef is the content address of the interval's start state.
+	CheckpointRef string `json:"checkpoint_ref"`
+}
+
+// SampledResult aggregates a sampled run. All fields are deterministic
+// functions of the spec, so two executions — local or sharded across any
+// set of backends — produce byte-identical canonical JSON.
+type SampledResult struct {
+	Benchmark string `json:"benchmark"`
+	Config    string `json:"config"`
+	Policy    string `json:"policy"`
+
+	TotalInsts     uint64 `json:"total_insts"`
+	MeasuredInsts  uint64 `json:"measured_insts"`
+	MeasuredCycles uint64 `json:"measured_cycles"`
+	// EstimatedCycles extrapolates the measured CPI to the full run.
+	EstimatedCycles uint64  `json:"estimated_cycles"`
+	CPI             float64 `json:"cpi"`
+	ReplaysPerKInst float64 `json:"replays_per_kinst"`
+
+	Intervals []Interval `json:"intervals"`
+}
+
+// RunSampled executes one sampled-mode logical run: a single functional
+// pass over the workload emits a checkpoint at each sample point, the
+// detailed intervals run as independent checkpoint jobs (in process or on
+// sp.Backend), and the per-interval deltas are aggregated in interval
+// order. The scheduler itself never runs detailed timing.
+func RunSampled(ctx context.Context, sp SampleSpec) (*SampledResult, error) {
+	if err := sp.Validate(); err != nil {
+		return nil, err
+	}
+	prof, err := trace.ByName(sp.Job.Benchmark)
+	if err != nil {
+		return nil, err
+	}
+	factory, err := PolicyFactoryByName(sp.Job.Policy)
+	if err != nil {
+		return nil, err
+	}
+	em := energy.NewModel(sp.Job.Machine.CoreSize())
+	pol, err := factory(sp.Job.Machine, em)
+	if err != nil {
+		return nil, err
+	}
+	sim, err := core.New(sp.Job.Machine, prof, pol, em)
+	if err != nil {
+		return nil, err
+	}
+
+	// Functional pass: walk the run once, dropping a checkpoint and a
+	// cumulative-counter snapshot at the start of each detailed interval.
+	period := sp.Job.Insts / uint64(sp.Intervals)
+	gap := period - sp.IntervalInsts
+	jobs := make([]JobSpec, sp.Intervals)
+	baselines := make([]*core.Result, sp.Intervals)
+	starts := make([]uint64, sp.Intervals)
+	var pos uint64
+	for i := 0; i < sp.Intervals; i++ {
+		warm := gap
+		if sp.Warmup > 0 && sp.Warmup < gap {
+			warm = sp.Warmup
+		}
+		if err := sim.FastForward(gap-warm, false); err != nil {
+			return nil, err
+		}
+		if err := sim.FastForward(warm, true); err != nil {
+			return nil, err
+		}
+		pos += gap
+		blob, err := sim.SaveCheckpoint()
+		if err != nil {
+			return nil, err
+		}
+		base, err := sim.Snapshot()
+		if err != nil {
+			return nil, err
+		}
+		sum := sha256.Sum256(blob)
+		job := sp.Job
+		job.Insts = sp.IntervalInsts
+		job.Checkpoint = blob
+		job.CheckpointRef = hex.EncodeToString(sum[:])
+		jobs[i] = job
+		baselines[i] = base
+		starts[i] = pos
+		// Step functionally over the interval itself; the detailed replay
+		// of these instructions happens in the interval job.
+		if err := sim.FastForward(sp.IntervalInsts, true); err != nil {
+			return nil, err
+		}
+		pos += sp.IntervalInsts
+	}
+
+	// Detailed intervals, sharded. Results land by index, so completion
+	// order cannot affect the aggregate.
+	results := make([]*core.Result, sp.Intervals)
+	errs := make([]error, sp.Intervals)
+	par := sp.Parallelism
+	if par <= 0 {
+		par = 4
+	}
+	sem := make(chan struct{}, par)
+	var wg sync.WaitGroup
+	for i := range jobs {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			if sp.Backend != nil {
+				results[i], errs[i] = sp.Backend.Run(ctx, jobs[i])
+			} else {
+				results[i], errs[i] = ExecuteJob(ctx, jobs[i])
+			}
+		}(i)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: interval %d: %w", i, err)
+		}
+	}
+
+	out := &SampledResult{
+		Benchmark:  sp.Job.Benchmark,
+		Config:     sp.Job.Machine.Name,
+		Policy:     sp.Job.Policy,
+		TotalInsts: sp.Job.Insts,
+		Intervals:  make([]Interval, 0, sp.Intervals),
+	}
+	for i, r := range results {
+		base := baselines[i]
+		iv := Interval{
+			Index:         i,
+			StartInst:     starts[i],
+			Insts:         r.Insts - base.Insts,
+			Cycles:        r.Cycles - base.Cycles,
+			Replays:       uint64(r.Stats.Get("core_replays_total") - base.Stats.Get("core_replays_total")),
+			CheckpointRef: jobs[i].CheckpointRef,
+		}
+		out.MeasuredInsts += iv.Insts
+		out.MeasuredCycles += iv.Cycles
+		out.Intervals = append(out.Intervals, iv)
+	}
+	if out.MeasuredInsts > 0 {
+		out.CPI = float64(out.MeasuredCycles) / float64(out.MeasuredInsts)
+		out.EstimatedCycles = uint64(out.CPI*float64(out.TotalInsts) + 0.5)
+		var replays uint64
+		for _, iv := range out.Intervals {
+			replays += iv.Replays
+		}
+		out.ReplaysPerKInst = float64(replays) * 1000 / float64(out.MeasuredInsts)
+	}
+	return out, nil
+}

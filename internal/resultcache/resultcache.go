@@ -69,6 +69,12 @@ type KeySpec struct {
 	// (soundness.FaultSpec.String()), empty for clean runs. Faults perturb
 	// timing, so faulted and clean results must never share an address.
 	Faults string `json:"faults,omitempty"`
+	// CheckpointRef is the hex SHA-256 of the checkpoint a sampled-mode
+	// interval job restores from, empty for from-reset runs. The blob
+	// fully determines the restored state, so its hash (plus the interval
+	// budget in Insts) addresses the interval's result. omitempty keeps
+	// every pre-checkpoint key byte-identical.
+	CheckpointRef string `json:"checkpoint_ref,omitempty"`
 }
 
 // Key returns the content address for a KeySpec: the hex SHA-256 of its

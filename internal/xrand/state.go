@@ -1,0 +1,30 @@
+package xrand
+
+import "fmt"
+
+// State is the complete generator state: the two cursor indices and the
+// lagged-Fibonacci vector. A Rand restored from a State produces exactly
+// the stream the original would have produced from the capture point.
+type State struct {
+	Tap  int
+	Feed int
+	Vec  [rngLen]int64
+}
+
+// State captures the generator's current state.
+func (r *Rand) State() State {
+	return State{Tap: r.tap, Feed: r.feed, Vec: r.vec}
+}
+
+// SetState replaces the generator's state. The cursor indices must lie in
+// [0, 607); the vector is accepted as-is (every vector is reachable).
+func (r *Rand) SetState(s State) error {
+	if s.Tap < 0 || s.Tap >= rngLen {
+		return fmt.Errorf("xrand: tap index %d out of range [0,%d)", s.Tap, rngLen)
+	}
+	if s.Feed < 0 || s.Feed >= rngLen {
+		return fmt.Errorf("xrand: feed index %d out of range [0,%d)", s.Feed, rngLen)
+	}
+	r.tap, r.feed, r.vec = s.Tap, s.Feed, s.Vec
+	return nil
+}
