@@ -12,7 +12,14 @@
 #   make api-check   just the API-surface comparison
 #   make chaos       kill/restart durability matrix under -race: SIGKILL a
 #                    real dmdcd mid-matrix with a journal on disk, restart,
-#                    prove zero lost / zero duplicated / byte-identical
+#                    prove zero lost / zero duplicated / byte-identical —
+#                    plus peer-degradation chaos (a peer killed mid-fetch
+#                    or serving corrupt entries must fall back to local
+#                    compute, byte-identical)
+#   make fleet-check three in-process dmdcd instances under -race: warm
+#                    peer-fetch re-runs with zero re-simulations, journal
+#                    lease handoff across drains, and leaked-lease
+#                    adoption after a crash
 #   make sample-check  the checkpoint/sampling gate under -race: byte-exact
 #                    save/restore equivalence over the full golden matrix
 #                    and the mid-pipeline white-box states, the sampled
@@ -34,7 +41,7 @@ GO ?= go
 CACHE_DIR ?= .dmdc-cache
 BENCH_COUNT ?= 5
 
-.PHONY: all build test check vet api-check race soundness alloc-gate chaos sample-check wakeup-shadow fuzz-short cover bench bench-smoke bench-all report clean-cache
+.PHONY: all build test check vet api-check race soundness alloc-gate chaos fleet-check sample-check wakeup-shadow fuzz-short cover bench bench-smoke bench-all report clean-cache
 
 all: build test check
 
@@ -83,6 +90,13 @@ chaos:
 		-run 'TestChaos|TestServerRestartResume|TestJournal|TestCompaction|TestAutoCompaction|TestVersionSkew|TestAppend' \
 		./internal/dserve/ ./internal/jobstore/
 
+# The fleet gate (DESIGN.md §15): a cold matrix on one instance, warm
+# re-runs on peers with zero re-simulations (the counters prove the
+# GET /v1/cache path ran), a three-instance shared-store handoff chain,
+# and leaked-lease adoption after a simulated crash — under -race.
+fleet-check:
+	$(GO) test -race -count 1 -run 'TestFleet' ./internal/dserve/
+
 # The sampled-execution gate (DESIGN.md §14): byte-exact restore
 # equivalence over the full golden matrix and the mid-pipeline white-box
 # states, the pinned sampled-vs-full error-bound report, and the
@@ -112,7 +126,7 @@ api-check:
 alloc-gate:
 	$(GO) test -run 'TestAllocationBudget' -count 1 .
 
-check: vet api-check race soundness alloc-gate chaos sample-check wakeup-shadow bench-smoke fuzz-short cover
+check: vet api-check race soundness alloc-gate chaos fleet-check sample-check wakeup-shadow bench-smoke fuzz-short cover
 
 # Core-simulator throughput, recorded. Medians over BENCH_COUNT repetitions
 # land in the "current" section of BENCH_core.json; the "pre_pr8" section

@@ -23,7 +23,7 @@ func TestAllocationBudget(t *testing.T) {
 		t.Skip("allocation counting is load-sensitive; skipped in -short")
 	}
 	run := func() {
-		if _, err := dmdc.Simulate(dmdc.Config2(), "gcc", dmdc.PolicyDMDC, 5_000); err != nil {
+		if _, err := simulate(dmdc.Config2(), "gcc", dmdc.PolicyDMDC, 5_000); err != nil {
 			t.Fatal(err)
 		}
 	}

@@ -55,7 +55,7 @@ func benchSim(b *testing.B, policy dmdc.PolicyKind) {
 	b.Helper()
 	var insts uint64
 	for i := 0; i < b.N; i++ {
-		res, err := dmdc.Simulate(dmdc.Config2(), "gcc", policy, benchBudget)
+		res, err := simulate(dmdc.Config2(), "gcc", policy, benchBudget)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -153,7 +153,7 @@ func BenchmarkSimTelemetry(b *testing.B) {
 	var insts uint64
 	for i := 0; i < b.N; i++ {
 		sampler := dmdc.NewTelemetrySampler(dmdc.TelemetryConfig{})
-		res, err := dmdc.Simulate(dmdc.Config2(), "gcc", dmdc.PolicyBaseline, benchBudget,
+		res, err := simulate(dmdc.Config2(), "gcc", dmdc.PolicyBaseline, benchBudget,
 			dmdc.WithTelemetry(sampler))
 		if err != nil {
 			b.Fatal(err)

@@ -12,12 +12,22 @@
 // X-DMDC-Tenant request header selects a per-tenant bounded queue,
 // served by weighted fair (deficit round robin) scheduling.
 //
+// With -peers, instances form a result-sharing fleet: a local cache miss
+// is fetched from a peer's GET /v1/cache/{key} (hash-verified, fail
+// closed) before anything is simulated, so a matrix the fleet has
+// already computed re-runs with zero simulations anywhere. With
+// -instance/-lease-ttl, instances that share a -store-dir hand jobs off
+// through journal leases: a drained instance releases its claims for
+// instant adoption, a crashed one's leases lapse and its jobs are
+// adopted at expiry — zero lost, zero duplicated.
+//
 // Usage:
 //
 //	dmdcd -addr :8321
 //	dmdcd -addr :8321 -workers 8 -cache-dir ~/.cache/dmdc
 //	dmdcd -addr :8321 -store-dir /var/lib/dmdc/jobs -tenant-weights 'prod=3,batch=1' -quota 4
 //	dmdcd -addr :8321 -telemetry-stride 4096
+//	dmdcd -addr :8322 -cache-dir /var/cache/dmdc-b -peers http://hostA:8321 -instance b
 //
 // Submit a job with curl:
 //
@@ -56,6 +66,9 @@ func main() {
 		weightsFl = flag.String("tenant-weights", "", "per-tenant fair-share weights, e.g. 'prod=3,batch=1,*=1' (* sets the default weight)")
 		quota     = flag.Int("quota", 0, "per-tenant cap on concurrently running jobs (0 = unlimited)")
 		telStride = flag.Uint64("telemetry-stride", 0, "per-job telemetry sample interval in cycles (0 disables /v1/telemetry)")
+		peersFl   = flag.String("peers", "", "comma-separated base URLs of peer dmdcd instances; local cache misses are fetched from them before simulating (requires -cache-dir)")
+		instance  = flag.String("instance", "", "instance name for journal lease ownership; must differ between instances that ever share a -store-dir (default pid-<pid>)")
+		leaseTTL  = flag.Duration("lease-ttl", 0, "how long this instance's claim on an incomplete job stays live without renewal (0 = 30s)")
 	)
 	flag.Parse()
 
@@ -64,7 +77,10 @@ func main() {
 		die(err)
 	}
 	tenants.Quota = *quota
-	cfg := dserve.ServerConfig{Workers: *workers, QueueDepth: *queue, Tenants: tenants}
+	cfg := dserve.ServerConfig{
+		Workers: *workers, QueueDepth: *queue, Tenants: tenants,
+		Instance: *instance, LeaseTTL: *leaseTTL,
+	}
 	if *cacheDir != "" {
 		c, err := resultcache.Open(*cacheDir)
 		if err != nil {
@@ -72,6 +88,22 @@ func main() {
 		}
 		cfg.Cache = c
 		fmt.Fprintf(os.Stderr, "dmdcd: result cache at %s\n", c.Dir())
+		if *peersFl != "" {
+			var peers []resultcache.Peer
+			for _, u := range strings.Split(*peersFl, ",") {
+				if u = strings.TrimSpace(u); u != "" {
+					peers = append(peers, dserve.NewCachePeer(u, nil))
+				}
+			}
+			tiered, err := resultcache.NewTiered(resultcache.TieredConfig{Local: c, Peers: peers})
+			if err != nil {
+				die(err)
+			}
+			cfg.Cache = tiered
+			fmt.Fprintf(os.Stderr, "dmdcd: fetching cache misses from %d peer(s)\n", len(peers))
+		}
+	} else if *peersFl != "" {
+		die(fmt.Errorf("-peers needs -cache-dir: fetched entries must land in a local tier"))
 	}
 	var store *jobstore.Store
 	if *storeDir != "" {

@@ -1,9 +1,9 @@
 package dmdc_test
 
-// API-redesign compatibility suite: the deprecated positional entry
-// points must remain byte-identical facades over Run(ctx, Request), and
-// the context threaded through Run must cancel a simulation promptly
-// without ever surfacing as a watchdog or soundness failure.
+// API compatibility suite for Run(ctx, Request), the single entry
+// point: zero-value Request defaults, Verify wiring, prompt context
+// cancellation that never surfaces as a watchdog or soundness failure,
+// and the policy-name round trip the wire protocol depends on.
 
 import (
 	"context"
@@ -29,53 +29,42 @@ func fingerprintJSON(t *testing.T, r *dmdc.Result) []byte {
 	return b
 }
 
-// TestSimulateMatchesRun pins the deprecated wrapper contract: Simulate
-// is exactly Run(context.Background(), Request{...}), down to the last
-// stat counter and energy event.
-func TestSimulateMatchesRun(t *testing.T) {
+// TestRunVerified pins the Verify field: a verified run attaches the
+// oracle to every committed instruction, changes nothing about the
+// simulated machine's timing, and stays fully deterministic (byte-
+// identical across repeats — the property the fleet's content-addressed
+// result sharing rests on).
+func TestRunVerified(t *testing.T) {
 	t.Parallel()
-	old, err := dmdc.Simulate(dmdc.Config2(), "gcc", dmdc.PolicyDMDC, compatInsts)
-	if err != nil {
-		t.Fatalf("Simulate: %v", err)
-	}
 	req := dmdc.Request{
-		Machine:   dmdc.Config2(),
-		Benchmark: "gcc",
-		Policy:    dmdc.PolicyDMDC,
-		Insts:     compatInsts,
-	}
-	nu, err := dmdc.Run(context.Background(), req)
-	if err != nil {
-		t.Fatalf("Run: %v", err)
-	}
-	if oldJ, nuJ := fingerprintJSON(t, old), fingerprintJSON(t, nu); !json.Valid(oldJ) || string(oldJ) != string(nuJ) {
-		t.Fatalf("Simulate and Run diverged:\nold: %.200s\nnew: %.200s", oldJ, nuJ)
-	}
-}
-
-// TestSimulateVerifiedMatchesRun pins the oracle-attached wrapper the
-// same way (Verify: true must construct the identical simulation).
-func TestSimulateVerifiedMatchesRun(t *testing.T) {
-	t.Parallel()
-	old, err := dmdc.SimulateVerified(dmdc.Config1(), "swim", dmdc.PolicyBaseline, compatInsts)
-	if err != nil {
-		t.Fatalf("SimulateVerified: %v", err)
-	}
-	nu, err := dmdc.Run(context.Background(), dmdc.Request{
 		Machine:   dmdc.Config1(),
 		Benchmark: "swim",
 		Policy:    dmdc.PolicyBaseline,
 		Insts:     compatInsts,
-		Verify:    true,
-	})
+	}
+	plain, err := dmdc.Run(context.Background(), req)
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if oldJ, nuJ := fingerprintJSON(t, old), fingerprintJSON(t, nu); string(oldJ) != string(nuJ) {
-		t.Fatalf("SimulateVerified and Run{Verify} diverged:\nold: %.200s\nnew: %.200s", oldJ, nuJ)
+	req.Verify = true
+	verified, err := dmdc.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Run{Verify}: %v", err)
 	}
-	if got := old.Stats.Get("oracle_checked_insts"); got < compatInsts {
+	if got := verified.Stats.Get("oracle_checked_insts"); got < compatInsts {
 		t.Fatalf("oracle checked %v insts, want at least %d", got, compatInsts)
+	}
+	// The oracle only observes: timing must be untouched.
+	if plain.Cycles != verified.Cycles || plain.Insts != verified.Insts {
+		t.Fatalf("Verify perturbed timing: plain %d cycles/%d insts, verified %d cycles/%d insts",
+			plain.Cycles, plain.Insts, verified.Cycles, verified.Insts)
+	}
+	again, err := dmdc.Run(context.Background(), req)
+	if err != nil {
+		t.Fatalf("Run{Verify} repeat: %v", err)
+	}
+	if vj, aj := fingerprintJSON(t, verified), fingerprintJSON(t, again); !json.Valid(vj) || string(vj) != string(aj) {
+		t.Fatalf("verified run is nondeterministic:\nfirst: %.200s\nrepeat: %.200s", vj, aj)
 	}
 }
 

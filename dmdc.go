@@ -168,7 +168,7 @@ type SimOption = core.Option
 type FaultSpec = soundness.FaultSpec
 
 // SoundnessError reports the first architectural divergence caught by the
-// lockstep oracle (see SimulateVerified).
+// lockstep oracle (see Request.Verify).
 type SoundnessError = soundness.SoundnessError
 
 // WatchdogError reports a forward-progress stall, with a pipeline state
@@ -191,7 +191,7 @@ func WithSQFilter() SimOption { return core.WithSQFilter() }
 
 // WithFaults enables the deterministic fault-injection campaign described
 // by spec. Faults perturb timing and checking state, never architectural
-// results, so a faulted SimulateVerified run must still verify cleanly.
+// results, so a faulted Run with Verify set must still verify cleanly.
 func WithFaults(spec FaultSpec) SimOption { return core.WithFaults(spec) }
 
 // WithWatchdog fails the run with a *WatchdogError (including a pipeline
@@ -323,9 +323,9 @@ func (r Request) normalized() (Request, error) {
 // Run executes one simulation Request and returns timing, energy, and
 // statistics. The context is checked on the periodic soundness cadence: a
 // mid-run cancellation stops the simulation promptly and returns ctx.Err()
-// (never a watchdog or soundness error). Run is the single entry point —
-// Simulate and SimulateVerified are thin wrappers over it, and the dmdcd
-// service executes the same Request shape remotely.
+// (never a watchdog or soundness error). Run is the single entry point:
+// the experiment suite, the dmdcd service, and every test execute the
+// same Request shape, locally or remotely.
 func Run(ctx context.Context, req Request) (*Result, error) {
 	req, err := req.normalized()
 	if err != nil {
@@ -379,30 +379,6 @@ func Run(ctx context.Context, req Request) (*Result, error) {
 // exclusivity contract of core.Arena even under the concurrent sharded
 // service.
 var arenaPool = sync.Pool{New: func() any { return core.NewArena() }}
-
-// Simulate runs one benchmark under one policy for the given number of
-// committed instructions and returns timing, energy, and statistics.
-//
-// Deprecated: use Run with a Request — it adds context cancellation and
-// names every parameter. Simulate(m, b, k, n, opts...) is exactly
-// Run(context.Background(), Request{Machine: m, Benchmark: b, Policy: k,
-// Insts: n, Options: opts}).
-func Simulate(m Machine, benchmark string, kind PolicyKind, insts uint64, opts ...SimOption) (*Result, error) {
-	return Run(context.Background(), Request{
-		Machine: m, Benchmark: benchmark, Policy: kind, Insts: insts, Options: opts,
-	})
-}
-
-// SimulateVerified is Simulate with the lockstep architectural oracle
-// attached: every commit is checked against an independent in-order model
-// and the run fails with a *SoundnessError at the first divergence.
-//
-// Deprecated: use Run with a Request whose Verify field is true.
-func SimulateVerified(m Machine, benchmark string, kind PolicyKind, insts uint64, opts ...SimOption) (*Result, error) {
-	return Run(context.Background(), Request{
-		Machine: m, Benchmark: benchmark, Policy: kind, Insts: insts, Verify: true, Options: opts,
-	})
-}
 
 // NewSuite builds the experiment suite that regenerates the paper's
 // tables and figures. It returns an error when the options name an

@@ -1,18 +1,32 @@
 package dmdc_test
 
 import (
+	"context"
 	"strings"
 	"testing"
 
 	"dmdc"
 )
 
-func TestSimulateFacade(t *testing.T) {
+// simulate adapts the old positional call shape onto Run, the single
+// entry point. Tests that need the full Request (Verify, Faults, a live
+// context) call dmdc.Run directly.
+func simulate(m dmdc.Machine, bench string, k dmdc.PolicyKind, insts uint64, opts ...dmdc.SimOption) (*dmdc.Result, error) {
+	return dmdc.Run(context.Background(), dmdc.Request{
+		Machine:   m,
+		Benchmark: bench,
+		Policy:    k,
+		Insts:     insts,
+		Options:   opts,
+	})
+}
+
+func TestRunFacade(t *testing.T) {
 	for _, kind := range []dmdc.PolicyKind{
 		dmdc.PolicyBaseline, dmdc.PolicyYLA, dmdc.PolicyDMDC, dmdc.PolicyDMDCLocal,
 		dmdc.PolicyAgeTable, dmdc.PolicyValueBased, dmdc.PolicyValueSVW,
 	} {
-		r, err := dmdc.Simulate(dmdc.Config1(), "gzip", kind, 20_000)
+		r, err := simulate(dmdc.Config1(), "gzip", kind, 20_000)
 		if err != nil {
 			t.Fatalf("%v: %v", kind, err)
 		}
@@ -22,11 +36,11 @@ func TestSimulateFacade(t *testing.T) {
 	}
 }
 
-func TestSimulateErrors(t *testing.T) {
-	if _, err := dmdc.Simulate(dmdc.Config1(), "nonesuch", dmdc.PolicyDMDC, 1000); err == nil {
+func TestRunErrors(t *testing.T) {
+	if _, err := simulate(dmdc.Config1(), "nonesuch", dmdc.PolicyDMDC, 1000); err == nil {
 		t.Error("unknown benchmark accepted")
 	}
-	if _, err := dmdc.Simulate(dmdc.Config1(), "gzip", dmdc.PolicyKind(99), 1000); err == nil {
+	if _, err := simulate(dmdc.Config1(), "gzip", dmdc.PolicyKind(99), 1000); err == nil {
 		t.Error("unknown policy accepted")
 	}
 }
@@ -65,8 +79,8 @@ func TestConfigAccessors(t *testing.T) {
 	}
 }
 
-func TestSimulateWithInvalidations(t *testing.T) {
-	r, err := dmdc.Simulate(dmdc.Config2(), "gcc", dmdc.PolicyDMDC, 20_000,
+func TestRunWithInvalidations(t *testing.T) {
+	r, err := simulate(dmdc.Config2(), "gcc", dmdc.PolicyDMDC, 20_000,
 		dmdc.WithInvalidations(50))
 	if err != nil {
 		t.Fatal(err)

@@ -93,7 +93,7 @@ func TestGoldenMatrix(t *testing.T) {
 				name := fmt.Sprintf("%s/%s/%s", bench, cfg.Name, pol.name)
 				t.Run(name, func(t *testing.T) {
 					t.Parallel()
-					r, err := dmdc.Simulate(cfg, bench, pol.kind, goldenInsts)
+					r, err := simulate(cfg, bench, pol.kind, goldenInsts)
 					if err != nil {
 						t.Fatalf("simulate: %v", err)
 					}
@@ -172,7 +172,7 @@ func TestGoldenTelemetryObserverEffect(t *testing.T) {
 				t.Run(name, func(t *testing.T) {
 					t.Parallel()
 					sampler := dmdc.NewTelemetrySampler(dmdc.TelemetryConfig{Stride: 64})
-					r, err := dmdc.Simulate(cfg, bench, pol.kind, goldenInsts,
+					r, err := simulate(cfg, bench, pol.kind, goldenInsts,
 						dmdc.WithTelemetry(sampler))
 					if err != nil {
 						t.Fatalf("simulate: %v", err)
@@ -218,7 +218,7 @@ func TestGoldenTelemetryObserverEffect(t *testing.T) {
 func TestGoldenMatrixDeterminism(t *testing.T) {
 	t.Parallel()
 	run := func() []byte {
-		r, err := dmdc.Simulate(dmdc.Config2(), "gcc", dmdc.PolicyDMDC, 20_000)
+		r, err := simulate(dmdc.Config2(), "gcc", dmdc.PolicyDMDC, 20_000)
 		if err != nil {
 			t.Fatalf("simulate: %v", err)
 		}

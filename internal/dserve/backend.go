@@ -20,9 +20,10 @@ import (
 // Dispatcher over a single Local behaves exactly like the Suite's own
 // worker pool, so code written against Backend needs no server to run.
 type Local struct {
-	// Cache, when non-nil, answers non-soundness jobs from the persistent
-	// result cache and stores computed results back.
-	Cache *resultcache.Cache
+	// Cache, when non-nil, answers non-soundness jobs from the result
+	// store and stores computed results back. Any resultcache.Store works
+	// (disk cache, fleet-tiered, test fake).
+	Cache resultcache.Store
 }
 
 // Name identifies the backend.
@@ -102,16 +103,27 @@ func retryAfterOf(resp *http.Response) time.Duration {
 	return time.Duration(secs) * time.Second
 }
 
-// errBody extracts the {"error": ...} payload from a non-2xx response.
+// errBody extracts the structured ErrorEnvelope from a non-2xx response,
+// falling back to the raw body for non-envelope responses (proxies,
+// foreign servers).
 func errBody(resp *http.Response) error {
 	body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
-	var e struct {
-		Error string `json:"error"`
-	}
-	if json.Unmarshal(body, &e) == nil && e.Error != "" {
-		return fmt.Errorf("%s: %s", resp.Status, e.Error)
+	var e ErrorEnvelope
+	if json.Unmarshal(body, &e) == nil && e.Code != "" {
+		return fmt.Errorf("%s: %s: %s", resp.Status, e.Code, e.Message)
 	}
 	return fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body))
+}
+
+// envelopeOf parses the envelope out of a non-2xx response body without
+// consuming errBody's view (the caller passes the already-read bytes).
+// It reports whether an envelope was present.
+func envelopeOf(body []byte) (ErrorEnvelope, bool) {
+	var e ErrorEnvelope
+	if json.Unmarshal(body, &e) == nil && e.Code != "" {
+		return e, true
+	}
+	return ErrorEnvelope{}, false
 }
 
 // do issues one request and decodes a 2xx JSON body into out. Non-2xx
@@ -143,12 +155,24 @@ func (r *Remote) do(ctx context.Context, method, path string, in, out any) error
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		return &BackendError{
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 4096))
+		be := &BackendError{
 			Backend:    r.Name(),
 			Retryable:  retryableStatus(resp.StatusCode),
 			RetryAfter: retryAfterOf(resp),
-			Err:        errBody(resp),
+			Err:        fmt.Errorf("%s: %s", resp.Status, bytes.TrimSpace(body)),
 		}
+		if env, ok := envelopeOf(body); ok {
+			// The server's own verdict beats the status-code heuristic: it
+			// knows whether the failure was environmental (backpressure,
+			// shutdown) or deterministic (bad spec, failed simulation).
+			be.Retryable = env.Retryable
+			if env.RetryAfter > 0 {
+				be.RetryAfter = time.Duration(env.RetryAfter) * time.Second
+			}
+			be.Err = fmt.Errorf("%s: %s: %s", resp.Status, env.Code, env.Message)
+		}
+		return be
 	}
 	if out != nil {
 		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {

@@ -36,7 +36,9 @@ type DispatcherConfig struct {
 	// Cache, when non-nil, answers non-soundness jobs locally before any
 	// backend is consulted and stores fetched results, so an interrupted
 	// matrix resumes from content-addressed results instead of re-running.
-	Cache *resultcache.Cache
+	// Any resultcache.Store works — a Tiered store here makes the
+	// dispatcher itself fleet-aware.
+	Cache resultcache.Store
 }
 
 // DispatcherStats counts dispatcher activity; read with Dispatcher.Stats.

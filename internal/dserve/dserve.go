@@ -39,9 +39,22 @@
 //	GET  /v1/jobs            → {"jobs":[JobStatus,...]} (no results)
 //	GET  /v1/jobs/{id}       → JobStatus; ?wait=10s long-polls for a terminal state
 //	GET  /v1/jobs/{id}/result → the core.Result JSON (404 unknown, 409 not done)
+//	GET  /v1/cache/{key}     → raw result-cache entry bytes; the X-DMDC-Cache-Sha256
+//	                         header carries the body's hex SHA-256 and
+//	                         X-DMDC-Cache-Format the cache format version,
+//	                         so the fetching peer verifies before trusting
+//	PUT  /v1/cache/{key}     ← raw entry bytes + the same headers; the server
+//	                         verifies hash, format, and key before storing
+//	GET  /v1/version         → VersionInfo (wire protocol + cache/journal
+//	                         format versions); mixed-version fleets fail
+//	                         closed on it instead of mysteriously
 //	GET  /v1/telemetry       → telemetry registry index (+ service counters);
 //	                         ?job={id} one job's series
 //	GET  /v1/healthz         → Health (per-tenant depth/served included)
+//
+// Every non-2xx response carries one structured ErrorEnvelope
+// ({code, message, retryable, retry_after}), so clients branch on a stable
+// machine-readable code instead of string-matching messages.
 package dserve
 
 import (
@@ -50,6 +63,7 @@ import (
 	"time"
 
 	"dmdc/internal/experiments"
+	"dmdc/internal/resultcache"
 )
 
 // DefaultTenant is the tenant jobs land on when the submit carries no
@@ -58,6 +72,61 @@ const DefaultTenant = "default"
 
 // TenantHeader is the HTTP header naming the submitting tenant.
 const TenantHeader = "X-DMDC-Tenant"
+
+// ProtocolVersion identifies the /v1 wire protocol. Bump on any
+// incompatible change to routes, bodies, or the error envelope; peers
+// compare it via GET /v1/version and refuse to interoperate on mismatch.
+const ProtocolVersion = 1
+
+// Cache wire headers: the hex SHA-256 of the entry body and the
+// resultcache format version it was encoded under. Both sides verify —
+// a transfer that loses bytes or crosses a format boundary fails closed.
+const (
+	CacheSumHeader    = "X-DMDC-Cache-Sha256"
+	CacheFormatHeader = "X-DMDC-Cache-Format"
+)
+
+// Error codes carried by ErrorEnvelope.Code. Stable: clients branch on
+// them, so renaming one is a protocol change.
+const (
+	CodeBadRequest   = "bad_request"   // malformed body, header, or parameter
+	CodeNotFound     = "not_found"     // unknown job, cache key, or route
+	CodeConflict     = "conflict"      // result requested before the job finished
+	CodeBackpressure = "backpressure"  // queue full; retry after the hint
+	CodeServerClosed = "server_closed" // draining or shut down
+	CodeJobFailed    = "job_failed"    // the simulation itself failed
+	CodeBadEntry     = "bad_entry"     // cache body failed hash/format verification
+	CodeUnavailable  = "unavailable"   // feature not enabled on this instance
+	CodeInternal     = "internal"      // unexpected server-side failure
+)
+
+// ErrorEnvelope is the one structured error body every /v1 endpoint
+// returns for non-2xx responses.
+type ErrorEnvelope struct {
+	// Code is a stable machine-readable discriminator (Code* constants).
+	Code string `json:"code"`
+	// Message is the human-readable failure description.
+	Message string `json:"message"`
+	// Retryable hints whether the same request may succeed later or
+	// elsewhere (backpressure, shutdown) rather than deterministically
+	// failing again (bad spec, failed simulation).
+	Retryable bool `json:"retryable"`
+	// RetryAfter, when positive, is the server's backoff hint in seconds
+	// (mirrors the Retry-After header on 503/429).
+	RetryAfter int `json:"retry_after,omitempty"`
+}
+
+// VersionInfo is the body of GET /v1/version: everything a peer needs to
+// decide whether interoperating is safe. Wire protocol, cache entry
+// format, and journal format version all gate different couplings (API
+// calls, peer cache fetch, shared store handoff).
+type VersionInfo struct {
+	Protocol      int `json:"protocol"`
+	CacheFormat   int `json:"cache_format"`
+	JournalFormat int `json:"journal_format"`
+	// Instance is the server's self-chosen identity (lease owner name).
+	Instance string `json:"instance,omitempty"`
+}
 
 // Status is a job's lifecycle state.
 type Status string
@@ -175,6 +244,18 @@ type Health struct {
 	// JournalErrors counts failed journal appends (durability degraded
 	// but service continuing).
 	JournalErrors uint64 `json:"journal_errors,omitempty"`
+	// Instance is the server's lease-owner identity.
+	Instance string `json:"instance,omitempty"`
+	// Adopted counts jobs taken over from another instance's lease
+	// (released on drain, or expired after a crash). Deferred counts jobs
+	// whose foreign lease was still live at resume — the reclaimer adopts
+	// them when the lease expires; a positive value here with zero Adopted
+	// means the server is waiting out a peer's lease.
+	Adopted  uint64 `json:"adopted,omitempty"`
+	Deferred uint64 `json:"deferred,omitempty"`
+	// PeerCache breaks down the result store's tiers when the server runs
+	// a Tiered store (local/peer/negative hits and peer errors).
+	PeerCache *resultcache.Stats `json:"peer_cache,omitempty"`
 }
 
 // BackendError labels a failure with the backend it came from and whether

@@ -2,9 +2,13 @@ package dserve
 
 import (
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
+	"os"
 	"runtime"
 	"strconv"
 	"sync"
@@ -29,9 +33,11 @@ type ServerConfig struct {
 	// Tenants shapes per-tenant weights, quotas, and queue depths.
 	Tenants TenantConfig
 	// Cache, when non-nil, answers non-soundness jobs from the persistent
-	// result cache and writes every computed result back, so any process
-	// sharing the directory resumes instead of recomputing.
-	Cache *resultcache.Cache
+	// result store and writes every computed result back. Any Store works:
+	// a disk *resultcache.Cache, a fleet *resultcache.Tiered, or a test
+	// fake. The GET/PUT /v1/cache endpoints additionally serve raw entries
+	// to peers when the store (or its local tier) can produce them.
+	Cache resultcache.Store
 	// Store, when non-nil, journals every admission and lifecycle
 	// transition. NewServer replays it: incomplete jobs (admitted or
 	// running at the time of the crash) are re-queued under their
@@ -40,6 +46,16 @@ type ServerConfig struct {
 	// reconnect and get the identical answer. The server appends and
 	// compacts; the caller owns Open/Close of the store.
 	Store *jobstore.Store
+	// Instance names this server as a lease owner in the journal. Two
+	// instances that ever share (hand off) a store directory must differ.
+	// Empty means "pid-<os pid>".
+	Instance string
+	// LeaseTTL is how long this instance's claim on an incomplete job
+	// stays live without renewal. A successor opening the same store
+	// defers jobs under a foreign live lease until it expires (the leaked
+	// lease of a crashed peer), and adopts released or expired ones
+	// immediately. 0 means 30s.
+	LeaseTTL time.Duration
 	// Telemetry, when non-nil, attaches a per-job sampler to every
 	// simulated job and serves the registry at /v1/telemetry, keyed by job
 	// ID. Zero fields take the telemetry defaults.
@@ -61,6 +77,13 @@ type jobState struct {
 	retryable bool
 	result    *core.Result
 	done      chan struct{}
+
+	// foreignLeaseUntil is the Unix-ms expiry of another instance's live
+	// lease observed at resume; the reclaimer adopts the job after it.
+	// ownLeaseUntil is the expiry of this instance's last journaled lease
+	// (atomic: the lease loop reads it without the server lock).
+	foreignLeaseUntil int64
+	ownLeaseUntil     atomic.Int64
 }
 
 // Server executes simulation jobs behind the HTTP/JSON API described in
@@ -70,8 +93,10 @@ type Server struct {
 	workers  int
 	queueCap int
 	tcfg     TenantConfig
-	cache    *resultcache.Cache
+	cache    resultcache.Store
 	store    *jobstore.Store
+	instance string
+	leaseTTL time.Duration
 	telCfg   *telemetry.Config
 	reg      *telemetry.Registry
 
@@ -80,16 +105,19 @@ type Server struct {
 	wg     sync.WaitGroup
 	mux    *http.ServeMux
 
-	mu     sync.Mutex
-	cond   *sync.Cond
-	closed bool
-	jobs   map[string]*jobState
-	sched  *drr
+	mu       sync.Mutex
+	cond     *sync.Cond
+	closed   bool
+	jobs     map[string]*jobState
+	sched    *drr
+	deferred []*jobState // foreign live leases awaiting expiry
 
 	executed        atomic.Uint64
 	cacheHits       atomic.Uint64
 	rejected        atomic.Uint64
 	journalErrs     atomic.Uint64
+	adopted         atomic.Uint64
+	deferredTotal   atomic.Uint64
 	resumedDone     uint64 // written once in NewServer, before workers start
 	resumedRequeued uint64
 }
@@ -110,6 +138,12 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 	if cfg.Tenants.QueueDepth <= 0 {
 		cfg.Tenants.QueueDepth = cfg.QueueDepth
 	}
+	if cfg.Instance == "" {
+		cfg.Instance = fmt.Sprintf("pid-%d", os.Getpid())
+	}
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 30 * time.Second
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Server{
 		workers:  cfg.Workers,
@@ -117,6 +151,8 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		tcfg:     cfg.Tenants,
 		cache:    cfg.Cache,
 		store:    cfg.Store,
+		instance: cfg.Instance,
+		leaseTTL: cfg.LeaseTTL,
 		telCfg:   cfg.Telemetry,
 		ctx:      ctx,
 		cancel:   cancel,
@@ -139,6 +175,10 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 		s.wg.Add(1)
 		go s.worker()
 	}
+	if s.store != nil {
+		s.wg.Add(1)
+		go s.leaseLoop()
+	}
 	return s, nil
 }
 
@@ -146,7 +186,16 @@ func NewServer(cfg ServerConfig) (*Server, error) {
 // re-published (done jobs need their result back — from the cache — or
 // they are re-queued, since simulation is deterministic), incomplete jobs
 // are re-queued under their original tenant in admission order.
+//
+// Handoff: an incomplete job carrying another instance's lease is only
+// adopted immediately if the lease has expired (the previous owner
+// crashed and its claim lapsed) — a live foreign lease means the owner
+// may still be running the job, so it is deferred and the lease loop
+// adopts it at expiry. Jobs the previous owner released on drain carry no
+// lease and are adopted at once. Either way an adopted job is re-leased
+// under this instance before it is queued: zero lost, zero duplicated.
 func (s *Server) resume() error {
+	nowMS := time.Now().UnixMilli()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, jr := range s.store.Jobs() {
@@ -182,14 +231,117 @@ func (s *Server) resume() error {
 			s.resumedDone++
 			continue
 		}
+		if jr.Owner != "" && jr.Owner != s.instance && jr.LeaseUntil > nowMS {
+			// Foreign live lease: the owner may still be computing this
+			// job. Defer adoption until the lease lapses.
+			st.foreignLeaseUntil = jr.LeaseUntil
+			s.deferred = append(s.deferred, st)
+			s.deferredTotal.Add(1)
+			s.resumedRequeued++
+			continue
+		}
+		if jr.Owner != "" && jr.Owner != s.instance {
+			s.adopted.Add(1) // expired foreign lease: adopt now
+		}
 		// Admitted, running, retryably-failed, or done-but-uncached:
 		// incomplete as far as a client is concerned. Re-queue (past the
-		// depth bound — journaled admissions are never dropped).
+		// depth bound — journaled admissions are never dropped) under our
+		// own lease.
+		s.leaseJob(st)
 		s.sched.pushForce(st.tq, st)
 		st.tq.admitted++
 		s.resumedRequeued++
 	}
 	return nil
+}
+
+// leaseJob journals this instance's claim on an incomplete job. Safe to
+// call with or without s.mu held (the journal has its own lock).
+func (s *Server) leaseJob(st *jobState) {
+	if s.store == nil {
+		return
+	}
+	until := time.Now().Add(s.leaseTTL).UnixMilli()
+	if err := s.store.Append(jobstore.Record{
+		State: jobstore.StateLeased, ID: st.id, Owner: s.instance, LeaseUntil: until,
+	}); err != nil {
+		s.journalErrs.Add(1)
+		return
+	}
+	st.ownLeaseUntil.Store(until)
+}
+
+// leaseLoop renews this instance's leases on incomplete jobs and adopts
+// deferred jobs whose foreign lease has lapsed. It wakes at a fraction of
+// the TTL so a renewal always lands before the previous lease expires.
+func (s *Server) leaseLoop() {
+	defer s.wg.Done()
+	tick := s.leaseTTL / 3
+	if tick < 10*time.Millisecond {
+		tick = 10 * time.Millisecond
+	}
+	t := time.NewTicker(tick)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.ctx.Done():
+			return
+		case <-t.C:
+			s.renewAndReclaim()
+		}
+	}
+}
+
+// renewAndReclaim is one lease-loop pass: re-lease incomplete jobs whose
+// claim is at least half spent, and adopt deferred jobs whose foreign
+// lease has lapsed.
+func (s *Server) renewAndReclaim() {
+	nowMS := time.Now().UnixMilli()
+	renewAt := nowMS + s.leaseTTL.Milliseconds()/2
+
+	s.mu.Lock()
+	var renew []*jobState
+	for _, st := range s.jobs {
+		if (st.status == StatusQueued || st.status == StatusRunning) &&
+			st.foreignLeaseUntil == 0 && st.ownLeaseUntil.Load() < renewAt {
+			renew = append(renew, st)
+		}
+	}
+	var adopt []*jobState
+	remaining := s.deferred[:0]
+	for _, st := range s.deferred {
+		if st.foreignLeaseUntil <= nowMS {
+			adopt = append(adopt, st)
+		} else {
+			remaining = append(remaining, st)
+		}
+	}
+	s.deferred = remaining
+	for _, st := range adopt {
+		st.foreignLeaseUntil = 0
+		// The shared cache may have the answer by now (the old owner
+		// finished but crashed before journaling "done").
+		if s.cache != nil && !st.spec.Soundness {
+			if hit, ok := s.cache.Get(st.id); ok {
+				st.status = StatusDone
+				st.result = hit
+				st.cached = true
+				close(st.done)
+				continue
+			}
+		}
+		s.adopted.Add(1)
+		s.leaseJob(st)
+		s.sched.pushForce(st.tq, st)
+		st.tq.admitted++
+	}
+	if len(adopt) > 0 {
+		s.cond.Broadcast()
+	}
+	s.mu.Unlock()
+	for _, st := range renew {
+		s.leaseJob(st)
+	}
 }
 
 // tenantLocked returns (creating if needed) the tenant's queue.
@@ -204,9 +356,11 @@ func (s *Server) tenantLocked(name string) *tenantQ {
 // terminal retryable rejection (so long-pollers wake immediately and
 // dispatchers re-dispatch instead of hanging until timeout), cancels
 // in-flight simulations (they fail with a retryable shutdown error),
-// waits for the workers to exit, and compacts the journal. Evicted jobs
-// stay "admitted" in the journal on purpose: a restart re-queues and
-// finishes them.
+// waits for the workers to exit, releases this instance's leases, and
+// compacts the journal. Evicted jobs stay "admitted" in the journal on
+// purpose: a restart re-queues and finishes them — and the released
+// leases tell a successor it may adopt them immediately instead of
+// waiting out the lease TTL.
 func (s *Server) Close() {
 	s.mu.Lock()
 	if s.closed {
@@ -227,6 +381,28 @@ func (s *Server) Close() {
 	s.mu.Unlock()
 	s.wg.Wait()
 	if s.store != nil {
+		// Drain handoff: release every lease this instance still holds on
+		// an incomplete job. Deferred jobs keep their foreign lease — they
+		// were never ours to release.
+		s.mu.Lock()
+		var release []*jobState
+		for _, st := range s.jobs {
+			// Incomplete from the journal's point of view: evicted
+			// (rejected), queued, or failed retryably at shutdown. Done and
+			// deterministic failures already cleared their lease with the
+			// terminal record.
+			incomplete := st.status == StatusRejected || st.status == StatusQueued ||
+				st.status == StatusRunning || (st.status == StatusFailed && st.retryable)
+			if incomplete && st.foreignLeaseUntil == 0 && st.ownLeaseUntil.Load() > 0 {
+				release = append(release, st)
+			}
+		}
+		s.mu.Unlock()
+		for _, st := range release {
+			if err := s.store.Append(jobstore.Record{State: jobstore.StateReleased, ID: st.id}); err != nil {
+				s.journalErrs.Add(1)
+			}
+		}
 		// Best-effort: a failed compaction leaves a longer but complete
 		// journal, which replays identically.
 		s.store.Compact()
@@ -283,6 +459,20 @@ func (s *Server) execute(st *jobState) {
 	if err := s.ctx.Err(); err != nil {
 		s.finish(st, nil, fmt.Sprintf("server shutting down: %v", err), true)
 		return
+	}
+	if s.cache != nil && !st.spec.Soundness {
+		// Late re-check: between admission and execution a peer (or a
+		// Tiered store's fetch) may have landed this result. A warm fleet
+		// run must re-simulate nothing, even for jobs that were queued
+		// before the peer's answer arrived.
+		if hit, ok := s.cache.Get(st.id); ok {
+			s.cacheHits.Add(1)
+			s.mu.Lock()
+			st.cached = true
+			s.mu.Unlock()
+			s.finish(st, hit, "", false)
+			return
+		}
 	}
 	s.mu.Lock()
 	st.status = StatusRunning
@@ -351,9 +541,26 @@ func (s *Server) admit(spec experiments.JobSpec, tenant string) JobStatus {
 	}
 	id := spec.CacheKey()
 	s.mu.Lock()
+	if st, ok := s.jobs[id]; ok {
+		js := s.statusLocked(st)
+		s.mu.Unlock()
+		return js
+	}
+	s.mu.Unlock()
+
+	// Probe the store outside the server lock: a Tiered store may fetch
+	// from peers, and a network round-trip must never stall admission of
+	// unrelated jobs. (Tiered singleflights, so concurrent identical
+	// admits still cost one fetch.)
+	var hit *core.Result
+	if s.cache != nil && !spec.Soundness {
+		hit, _ = s.cache.Get(id)
+	}
+
+	s.mu.Lock()
 	defer s.mu.Unlock()
 	if st, ok := s.jobs[id]; ok {
-		return s.statusLocked(st)
+		return s.statusLocked(st) // identical admit raced us while probing
 	}
 	if s.closed {
 		s.rejected.Add(1)
@@ -361,16 +568,14 @@ func (s *Server) admit(spec experiments.JobSpec, tenant string) JobStatus {
 	}
 	tq := s.tenantLocked(tenant)
 	st := &jobState{id: id, spec: spec, tenant: tenant, tq: tq, status: StatusQueued, done: make(chan struct{})}
-	if s.cache != nil && !spec.Soundness {
-		if hit, ok := s.cache.Get(id); ok {
-			s.cacheHits.Add(1)
-			st.status = StatusDone
-			st.result = hit
-			st.cached = true
-			close(st.done)
-			s.jobs[id] = st
-			return s.statusLocked(st)
-		}
+	if hit != nil {
+		s.cacheHits.Add(1)
+		st.status = StatusDone
+		st.result = hit
+		st.cached = true
+		close(st.done)
+		s.jobs[id] = st
+		return s.statusLocked(st)
 	}
 	if tq.depth > 0 && len(tq.queue) >= tq.depth {
 		tq.rejected++
@@ -394,6 +599,9 @@ func (s *Server) admit(spec experiments.JobSpec, tenant string) JobStatus {
 			return JobStatus{ID: id, Status: StatusRejected, Tenant: tenant,
 				Error: fmt.Sprintf("journal admission: %v", err), Retryable: true}
 		}
+		// Claim the job for this instance so a peer opening the store after
+		// a handoff can tell live work from abandoned work.
+		s.leaseJob(st)
 	}
 	s.sched.push(tq, st)
 	tq.admitted++
@@ -429,6 +637,9 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleList)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	s.mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /v1/cache/{key}", s.handleCacheGet)
+	s.mux.HandleFunc("PUT /v1/cache/{key}", s.handleCachePut)
+	s.mux.HandleFunc("GET /v1/version", s.handleVersion)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealth)
 	s.mux.HandleFunc("GET /v1/telemetry", s.handleTelemetry)
 }
@@ -463,17 +674,17 @@ func tenantFrom(r *http.Request) (string, error) {
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	tenant, err := tenantFrom(r)
 	if err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("bad %s: %w", TenantHeader, err))
+		httpError(w, http.StatusBadRequest, CodeBadRequest, false, fmt.Errorf("bad %s: %w", TenantHeader, err))
 		return
 	}
 	var req SubmitRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxSubmitBytes))
 	if err := dec.Decode(&req); err != nil {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("decode submit: %w", err))
+		httpError(w, http.StatusBadRequest, CodeBadRequest, false, fmt.Errorf("decode submit: %w", err))
 		return
 	}
 	if len(req.Jobs) == 0 {
-		httpError(w, http.StatusBadRequest, fmt.Errorf("submit has no jobs"))
+		httpError(w, http.StatusBadRequest, CodeBadRequest, false, fmt.Errorf("submit has no jobs"))
 		return
 	}
 	resp := ListResponse{Jobs: make([]JobStatus, 0, len(req.Jobs))}
@@ -526,13 +737,13 @@ const maxWait = time.Minute
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+		httpError(w, http.StatusNotFound, CodeNotFound, false, fmt.Errorf("unknown job"))
 		return
 	}
 	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
 		wait, err := time.ParseDuration(waitStr)
 		if err != nil {
-			httpError(w, http.StatusBadRequest, fmt.Errorf("bad wait: %w", err))
+			httpError(w, http.StatusBadRequest, CodeBadRequest, false, fmt.Errorf("bad wait: %w", err))
 			return
 		}
 		if wait > maxWait {
@@ -557,7 +768,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	st, ok := s.lookup(r.PathValue("id"))
 	if !ok {
-		httpError(w, http.StatusNotFound, fmt.Errorf("unknown job"))
+		httpError(w, http.StatusNotFound, CodeNotFound, false, fmt.Errorf("unknown job"))
 		return
 	}
 	s.mu.Lock()
@@ -567,9 +778,9 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	case StatusDone:
 		writeJSON(w, http.StatusOK, res)
 	case StatusFailed:
-		httpError(w, http.StatusInternalServerError, fmt.Errorf("job failed: %s", errMsg))
+		httpError(w, http.StatusInternalServerError, CodeJobFailed, false, fmt.Errorf("job failed: %s", errMsg))
 	default:
-		httpError(w, http.StatusConflict, fmt.Errorf("job %s", status))
+		httpError(w, http.StatusConflict, CodeConflict, true, fmt.Errorf("job %s", status))
 	}
 }
 
@@ -608,11 +819,19 @@ func (s *Server) Stats() Health {
 	}
 	h.ResumedDone = s.resumedDone
 	h.ResumedRequeued = s.resumedRequeued
+	deferredNow := len(s.deferred)
 	s.mu.Unlock()
 	h.Executed = s.executed.Load()
 	h.CacheHits = s.cacheHits.Load()
 	h.Rejected = s.rejected.Load()
 	h.JournalErrors = s.journalErrs.Load()
+	h.Instance = s.instance
+	h.Adopted = s.adopted.Load()
+	h.Deferred = uint64(deferredNow)
+	if _, tiered := s.cache.(*resultcache.Tiered); tiered {
+		stats := s.cache.Stats()
+		h.PeerCache = &stats
+	}
 	return h
 }
 
@@ -629,8 +848,15 @@ func (s *Server) counterSnapshot() map[string]int64 {
 		"jobs_executed":   int64(h.Executed),
 		"jobs_cache_hits": int64(h.CacheHits),
 		"jobs_rejected":   int64(h.Rejected),
+		"jobs_adopted":    int64(h.Adopted),
+		"jobs_deferred":   int64(h.Deferred),
 		"queue_depth":     int64(h.Queued),
 		"journal_errors":  int64(h.JournalErrors),
+	}
+	if pc := h.PeerCache; pc != nil {
+		out["peer_cache_hits"] = int64(pc.PeerHits)
+		out["peer_cache_errors"] = int64(pc.PeerErrors)
+		out["peer_cache_negative_hits"] = int64(pc.NegativeHits)
 	}
 	for name, th := range h.Tenants {
 		out["tenant_"+name+"_queued"] = int64(th.Queued)
@@ -644,7 +870,7 @@ func (s *Server) counterSnapshot() map[string]int64 {
 
 func (s *Server) handleTelemetry(w http.ResponseWriter, r *http.Request) {
 	if s.reg == nil {
-		httpError(w, http.StatusNotFound, fmt.Errorf("telemetry disabled (start the server with a telemetry config)"))
+		httpError(w, http.StatusNotFound, CodeUnavailable, false, fmt.Errorf("telemetry disabled (start the server with a telemetry config)"))
 		return
 	}
 	s.reg.ServeHTTP(w, r)
@@ -662,7 +888,114 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-// httpError renders {"error": ...} with the given status code.
-func httpError(w http.ResponseWriter, code int, err error) {
-	writeJSON(w, code, map[string]string{"error": err.Error()})
+// httpError renders the structured ErrorEnvelope every endpoint shares.
+func httpError(w http.ResponseWriter, status int, code string, retryable bool, err error) {
+	writeJSON(w, status, ErrorEnvelope{Code: code, Message: err.Error(), Retryable: retryable})
+}
+
+// rawGetter is the optional raw-entry access a Store provides for the
+// peer cache endpoint (the disk Cache and the local tier of a Tiered
+// store both do).
+type rawGetter interface {
+	GetRaw(key string) ([]byte, bool)
+}
+
+// cacheKeyShape sanity-checks a /v1/cache/{key} path element: keys are
+// hex SHA-256 digests, nothing else reaches the filesystem.
+func cacheKeyShape(key string) bool {
+	if len(key) != sha256.Size*2 {
+		return false
+	}
+	for _, c := range key {
+		switch {
+		case c >= '0' && c <= '9', c >= 'a' && c <= 'f':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// maxCacheEntryBytes bounds a PUT /v1/cache body; entries are a few KB of
+// JSON stats, so 16 MiB is generous without being unbounded.
+const maxCacheEntryBytes = 16 << 20
+
+// handleCacheGet serves one raw cache entry to a fetching peer, with the
+// body hash and format version in headers so the peer verifies the
+// transfer end-to-end before trusting it. Peer traffic bypasses the
+// hit/miss counters — it is accounted on the requesting instance.
+func (s *Server) handleCacheGet(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !cacheKeyShape(key) {
+		httpError(w, http.StatusBadRequest, CodeBadRequest, false, fmt.Errorf("cache key must be a hex sha256"))
+		return
+	}
+	rg, ok := s.cache.(rawGetter)
+	if s.cache == nil || !ok {
+		httpError(w, http.StatusNotFound, CodeUnavailable, false, fmt.Errorf("no raw-capable result cache on this instance"))
+		return
+	}
+	body, ok := rg.GetRaw(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, CodeNotFound, false, fmt.Errorf("cache miss"))
+		return
+	}
+	sum := sha256.Sum256(body)
+	w.Header().Set(CacheSumHeader, hex.EncodeToString(sum[:]))
+	w.Header().Set(CacheFormatHeader, strconv.Itoa(resultcache.FormatVersion))
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusOK)
+	w.Write(body)
+}
+
+// handleCachePut accepts one pushed entry, verifying hash, format, and
+// decode before it can reach the store — a corrupt or version-skewed body
+// fails closed without side effects.
+func (s *Server) handleCachePut(w http.ResponseWriter, r *http.Request) {
+	key := r.PathValue("key")
+	if !cacheKeyShape(key) {
+		httpError(w, http.StatusBadRequest, CodeBadRequest, false, fmt.Errorf("cache key must be a hex sha256"))
+		return
+	}
+	if s.cache == nil {
+		httpError(w, http.StatusNotFound, CodeUnavailable, false, fmt.Errorf("no result cache on this instance"))
+		return
+	}
+	if f := r.Header.Get(CacheFormatHeader); f != "" && f != strconv.Itoa(resultcache.FormatVersion) {
+		httpError(w, http.StatusBadRequest, CodeBadEntry, false,
+			fmt.Errorf("cache format %s, this instance speaks %d", f, resultcache.FormatVersion))
+		return
+	}
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxCacheEntryBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, CodeBadRequest, false, fmt.Errorf("read entry: %w", err))
+		return
+	}
+	sum := sha256.Sum256(body)
+	if claimed := r.Header.Get(CacheSumHeader); claimed != hex.EncodeToString(sum[:]) {
+		httpError(w, http.StatusBadRequest, CodeBadEntry, false,
+			fmt.Errorf("entry body does not match its %s header", CacheSumHeader))
+		return
+	}
+	res, err := resultcache.DecodeEntry(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, CodeBadEntry, false, err)
+		return
+	}
+	if err := s.cache.Put(key, res); err != nil {
+		httpError(w, http.StatusInternalServerError, CodeInternal, true, err)
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleVersion reports the version tuple peers compare before
+// interoperating.
+func (s *Server) handleVersion(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, VersionInfo{
+		Protocol:      ProtocolVersion,
+		CacheFormat:   resultcache.FormatVersion,
+		JournalFormat: jobstore.FormatVersion,
+		Instance:      s.instance,
+	})
 }

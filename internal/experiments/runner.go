@@ -41,6 +41,11 @@ type Options struct {
 	// rooted at that directory (see internal/resultcache). Deterministic
 	// simulation makes cached results exact, not approximate.
 	CacheDir string
+	// Cache, when non-nil, is the result store the suite uses directly —
+	// a disk *resultcache.Cache, a fleet-aware *resultcache.Tiered, or a
+	// test fake. It takes precedence over CacheDir, and the caller owns
+	// its lifecycle.
+	Cache resultcache.Store
 	// Soundness attaches the lockstep architectural oracle to every run:
 	// each commit is checked against an independent in-order model and any
 	// divergence fails the cell with a *soundness.SoundnessError. Oracle

@@ -44,7 +44,7 @@ func keyQueue(n int) string       { return fmt.Sprintf("dmdc-queue%d", n) }
 // run key are single-flighted so each spec simulates at most once.
 type Suite struct {
 	opts      Options
-	cache     *resultcache.Cache  // nil when Options.CacheDir is empty
+	cache     resultcache.Store   // nil when neither Cache nor CacheDir is set
 	telemetry *telemetry.Registry // nil when Options.Telemetry is nil
 
 	simulated atomic.Uint64 // simulations actually executed (cache hits excluded)
@@ -73,7 +73,12 @@ func NewSuite(o Options) (*Suite, error) {
 		results:  make(map[string][]*core.Result),
 		inflight: make(map[string]*inflightRun),
 	}
-	if no.CacheDir != "" {
+	switch {
+	case no.Cache != nil:
+		// An injected store wins: the caller controls tiering (disk,
+		// fleet-tiered, test fake) and its lifecycle.
+		s.cache = no.Cache
+	case no.CacheDir != "":
 		c, err := resultcache.Open(no.CacheDir)
 		if err != nil {
 			return nil, err
@@ -102,13 +107,14 @@ func (s *Suite) Err() error {
 // suite — cache hits are excluded, so a fully warm run reports zero.
 func (s *Suite) Simulated() uint64 { return s.simulated.Load() }
 
-// CacheStats returns the result-cache hit/miss/write-error counters, or
+// CacheStats returns the result-store hit/miss/write-error counters, or
 // zeros when no cache is configured.
 func (s *Suite) CacheStats() (hits, misses, writeErrors uint64) {
 	if s.cache == nil {
 		return 0, 0, 0
 	}
-	return s.cache.Hits(), s.cache.Misses(), s.cache.WriteErrors()
+	st := s.cache.Stats()
+	return st.Hits, st.Misses, st.WriteErrors
 }
 
 // specFor materializes the runSpec for a key the suite itself produced;

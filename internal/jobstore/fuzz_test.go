@@ -2,13 +2,14 @@ package jobstore
 
 import (
 	"encoding/json"
+	"fmt"
 	"os"
 	"path/filepath"
 	"testing"
 )
 
 // validManifest is the byte-exact MANIFEST Open writes for this version.
-var validManifest = []byte(`{"format":"dmdc-jobstore","version":1}`)
+var validManifest = []byte(fmt.Sprintf(`{"format":"dmdc-jobstore","version":%d}`, FormatVersion))
 
 // buildJournal renders records through the real framing.
 func buildJournal(t testing.TB, recs ...Record) []byte {
@@ -42,6 +43,10 @@ func FuzzJournalReplay(f *testing.F) {
 		Record{State: StateDone, ID: "a"},
 		Record{State: StateAdmitted, ID: "b", Spec: json.RawMessage(`{"x":1}`)},
 		Record{State: StateFailed, ID: "b", Error: "boom", Retryable: true},
+		Record{State: StateAdmitted, ID: "c", Spec: json.RawMessage(`{"x":2}`)},
+		Record{State: StateLeased, ID: "c", Owner: "inst-1", LeaseUntil: 123456},
+		Record{State: StateReleased, ID: "c"},
+		Record{State: StateLeased, ID: "c", Owner: "inst-2", LeaseUntil: 234567},
 	)
 	f.Add(full)
 	f.Add(full[:len(full)-5])
@@ -97,7 +102,8 @@ func FuzzJournalReplay(f *testing.F) {
 		for i := range jobs {
 			a, b := jobs[i], again[i]
 			if a.ID != b.ID || a.State != b.State || a.Tenant != b.Tenant ||
-				string(a.Spec) != string(b.Spec) || a.Error != b.Error || a.Retryable != b.Retryable {
+				string(a.Spec) != string(b.Spec) || a.Error != b.Error || a.Retryable != b.Retryable ||
+				a.Owner != b.Owner || a.LeaseUntil != b.LeaseUntil {
 				t.Fatalf("repair changed job %d: %+v vs %+v", i, a, b)
 			}
 		}

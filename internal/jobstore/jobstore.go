@@ -38,7 +38,14 @@ import (
 
 // FormatVersion identifies the journal record schema and framing. A store
 // directory carrying any other version fails closed on Open.
-const FormatVersion = 1
+//
+// History:
+//
+//	1 — initial framing + admitted/running/done/failed lifecycle (PR 5)
+//	2 — lease records (leased/released) with Owner + LeaseUntil for
+//	    fleet job handoff; an older binary would silently drop them,
+//	    so the version gates the whole journal (PR 10)
+const FormatVersion = 2
 
 const (
 	manifestName = "MANIFEST"
@@ -59,18 +66,24 @@ var crcTable = crc32.MakeTable(crc32.Castagnoli)
 type State string
 
 // Lifecycle states. Admitted and Running jobs are incomplete — a replay
-// re-queues them. Done and Failed are terminal.
+// re-queues them. Done and Failed are terminal. Leased and Released are
+// ownership records, orthogonal to the lifecycle: they set or clear the
+// job's Owner/LeaseUntil without changing its lifecycle State, so a peer
+// replaying the journal can tell an abandoned job (lease expired or
+// explicitly released) from one another live instance is still working.
 const (
 	StateAdmitted State = "admitted"
 	StateRunning  State = "running"
 	StateDone     State = "done"
 	StateFailed   State = "failed"
+	StateLeased   State = "leased"
+	StateReleased State = "released"
 )
 
 // valid reports whether s is a known lifecycle state.
 func (s State) valid() bool {
 	switch s {
-	case StateAdmitted, StateRunning, StateDone, StateFailed:
+	case StateAdmitted, StateRunning, StateDone, StateFailed, StateLeased, StateReleased:
 		return true
 	}
 	return false
@@ -90,10 +103,15 @@ type Record struct {
 	// Error and Retryable qualify StateFailed.
 	Error     string `json:"error,omitempty"`
 	Retryable bool   `json:"retryable,omitempty"`
+	// Owner and LeaseUntil qualify StateLeased: the instance that holds
+	// the job, and the Unix-millisecond deadline after which any peer may
+	// adopt it. StateReleased clears them.
+	Owner      string `json:"owner,omitempty"`
+	LeaseUntil int64  `json:"lease_until,omitempty"`
 }
 
-// JobRecord is one job's replayed state: the admit-time identity plus the
-// last lifecycle transition observed.
+// JobRecord is one job's replayed state: the admit-time identity, the last
+// lifecycle transition observed, and the current lease (if any).
 type JobRecord struct {
 	ID        string
 	Tenant    string
@@ -101,6 +119,10 @@ type JobRecord struct {
 	State     State
 	Error     string
 	Retryable bool
+	// Owner is the instance holding the job's lease, "" when unleased or
+	// released. LeaseUntil is the lease's Unix-millisecond expiry.
+	Owner      string
+	LeaseUntil int64
 
 	seq int // admit order; Jobs() sorts by it
 }
@@ -370,12 +392,32 @@ func (s *Store) apply(rec Record) bool {
 	if !ok {
 		return false // transition for a job never admitted: ignore
 	}
+	switch rec.State {
+	case StateLeased:
+		if jr.State.Terminal() {
+			return false // lease on a finished job: stale, ignore
+		}
+		jr.Owner = rec.Owner
+		jr.LeaseUntil = rec.LeaseUntil
+		return true
+	case StateReleased:
+		if jr.State.Terminal() || jr.Owner == "" {
+			return false
+		}
+		jr.Owner = ""
+		jr.LeaseUntil = 0
+		return true
+	}
 	if jr.State.Terminal() && !rec.State.Terminal() {
 		return false // stale non-terminal record after a terminal one
 	}
 	jr.State = rec.State
 	jr.Error = rec.Error
 	jr.Retryable = rec.Retryable
+	if rec.State.Terminal() {
+		jr.Owner = "" // a finished job's lease is moot
+		jr.LeaseUntil = 0
+	}
 	return true
 }
 
@@ -403,6 +445,9 @@ func (s *Store) Append(rec Record) error {
 	}
 	if rec.State == StateAdmitted && len(rec.Spec) == 0 {
 		return errors.New("jobstore: append: admitted record needs a spec")
+	}
+	if rec.State == StateLeased && (rec.Owner == "" || rec.LeaseUntil <= 0) {
+		return errors.New("jobstore: append: leased record needs an owner and expiry")
 	}
 	payload, err := json.Marshal(rec)
 	if err != nil {
@@ -491,6 +536,13 @@ func (s *Store) compactLocked() error {
 		size += n
 		if jr.State != StateAdmitted {
 			n, err := writeFrame(tmp, Record{State: jr.State, ID: jr.ID, Error: jr.Error, Retryable: jr.Retryable})
+			if err != nil {
+				return abort(fmt.Errorf("jobstore: compact: %w", err))
+			}
+			size += n
+		}
+		if jr.Owner != "" {
+			n, err := writeFrame(tmp, Record{State: StateLeased, ID: jr.ID, Owner: jr.Owner, LeaseUntil: jr.LeaseUntil})
 			if err != nil {
 				return abort(fmt.Errorf("jobstore: compact: %w", err))
 			}

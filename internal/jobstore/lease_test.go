@@ -1,0 +1,170 @@
+package jobstore
+
+import (
+	"testing"
+)
+
+// jobOf fetches one job's replayed record.
+func jobOf(t *testing.T, s *Store, id string) JobRecord {
+	t.Helper()
+	for _, jr := range s.Jobs() {
+		if jr.ID == id {
+			return jr
+		}
+	}
+	t.Fatalf("job %s not in store", id)
+	return JobRecord{}
+}
+
+func TestJournalLeaseRoundTrip(t *testing.T) {
+	t.Parallel()
+	s, dir := openFresh(t, Options{})
+	admit(t, s, "a", "alice", 0)
+	if err := s.Append(Record{State: StateLeased, ID: "a", Owner: "inst-1", LeaseUntil: 12345}); err != nil {
+		t.Fatal(err)
+	}
+	jr := jobOf(t, s, "a")
+	if jr.Owner != "inst-1" || jr.LeaseUntil != 12345 || jr.State != StateAdmitted {
+		t.Fatalf("leased job = %+v", jr)
+	}
+	s.Close()
+
+	// The lease survives replay.
+	s2, _ := reopen(t, dir, Options{})
+	jr = jobOf(t, s2, "a")
+	if jr.Owner != "inst-1" || jr.LeaseUntil != 12345 {
+		t.Fatalf("replayed lease = %+v", jr)
+	}
+}
+
+func TestJournalLeaseRelease(t *testing.T) {
+	t.Parallel()
+	s, dir := openFresh(t, Options{})
+	admit(t, s, "a", "", 0)
+	if err := s.Append(Record{State: StateLeased, ID: "a", Owner: "inst-1", LeaseUntil: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{State: StateReleased, ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	jr := jobOf(t, s, "a")
+	if jr.Owner != "" || jr.LeaseUntil != 0 {
+		t.Fatalf("released job still leased: %+v", jr)
+	}
+	s.Close()
+	s2, _ := reopen(t, dir, Options{})
+	if jr := jobOf(t, s2, "a"); jr.Owner != "" {
+		t.Fatalf("replayed released job still leased: %+v", jr)
+	}
+}
+
+func TestJournalLeaseReassignment(t *testing.T) {
+	t.Parallel()
+	s, _ := openFresh(t, Options{})
+	admit(t, s, "a", "", 0)
+	for _, rec := range []Record{
+		{State: StateLeased, ID: "a", Owner: "inst-1", LeaseUntil: 10},
+		{State: StateLeased, ID: "a", Owner: "inst-2", LeaseUntil: 20},
+	} {
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	jr := jobOf(t, s, "a")
+	if jr.Owner != "inst-2" || jr.LeaseUntil != 20 {
+		t.Fatalf("re-leased job = %+v, want inst-2 lease", jr)
+	}
+}
+
+func TestJournalLeaseIgnoredCases(t *testing.T) {
+	t.Parallel()
+	s, _ := openFresh(t, Options{})
+	admit(t, s, "a", "", 0)
+	if err := s.Append(Record{State: StateDone, ID: "a"}); err != nil {
+		t.Fatal(err)
+	}
+	// Lease on a terminal job is stale: ignored.
+	if err := s.Append(Record{State: StateLeased, ID: "a", Owner: "inst-1", LeaseUntil: 10}); err != nil {
+		t.Fatal(err)
+	}
+	if jr := jobOf(t, s, "a"); jr.Owner != "" {
+		t.Fatalf("terminal job acquired a lease: %+v", jr)
+	}
+	// Release of an unleased job changes nothing.
+	admit(t, s, "b", "", 1)
+	if err := s.Append(Record{State: StateReleased, ID: "b"}); err != nil {
+		t.Fatal(err)
+	}
+	if jr := jobOf(t, s, "b"); jr.Owner != "" || jr.State != StateAdmitted {
+		t.Fatalf("release of unleased job changed it: %+v", jr)
+	}
+}
+
+func TestJournalTerminalClearsLease(t *testing.T) {
+	t.Parallel()
+	s, dir := openFresh(t, Options{})
+	admit(t, s, "a", "", 0)
+	for _, rec := range []Record{
+		{State: StateLeased, ID: "a", Owner: "inst-1", LeaseUntil: 10},
+		{State: StateRunning, ID: "a"},
+		{State: StateDone, ID: "a"},
+	} {
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if jr := jobOf(t, s, "a"); jr.Owner != "" || jr.LeaseUntil != 0 {
+		t.Fatalf("done job still leased: %+v", jr)
+	}
+	s.Close()
+	s2, _ := reopen(t, dir, Options{})
+	if jr := jobOf(t, s2, "a"); jr.Owner != "" {
+		t.Fatalf("replayed done job still leased: %+v", jr)
+	}
+}
+
+func TestCompactionPreservesLease(t *testing.T) {
+	t.Parallel()
+	s, dir := openFresh(t, Options{})
+	admit(t, s, "a", "alice", 0) // leased, incomplete
+	admit(t, s, "b", "", 1)      // finished: lease must be gone
+	for _, rec := range []Record{
+		{State: StateLeased, ID: "a", Owner: "inst-1", LeaseUntil: 777},
+		{State: StateRunning, ID: "a"},
+		{State: StateLeased, ID: "b", Owner: "inst-1", LeaseUntil: 777},
+		{State: StateDone, ID: "b"},
+	} {
+		if err := s.Append(rec); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	jr := jobOf(t, s, "a")
+	if jr.Owner != "inst-1" || jr.LeaseUntil != 777 || jr.State != StateRunning {
+		t.Fatalf("compacted leased job = %+v", jr)
+	}
+	s.Close()
+
+	s2, _ := reopen(t, dir, Options{})
+	jr = jobOf(t, s2, "a")
+	if jr.Owner != "inst-1" || jr.LeaseUntil != 777 || jr.State != StateRunning {
+		t.Fatalf("replay after compaction lost the lease: %+v", jr)
+	}
+	if jr := jobOf(t, s2, "b"); jr.Owner != "" || jr.State != StateDone {
+		t.Fatalf("done job after compaction = %+v", jr)
+	}
+}
+
+func TestAppendLeaseValidation(t *testing.T) {
+	t.Parallel()
+	s, _ := openFresh(t, Options{})
+	admit(t, s, "a", "", 0)
+	if err := s.Append(Record{State: StateLeased, ID: "a", LeaseUntil: 10}); err == nil {
+		t.Fatal("leased record without owner accepted")
+	}
+	if err := s.Append(Record{State: StateLeased, ID: "a", Owner: "inst-1"}); err == nil {
+		t.Fatal("leased record without expiry accepted")
+	}
+}

@@ -1,16 +1,20 @@
-// Package resultcache persists simulation results on disk so repeated
-// experiment invocations skip work they have already done. Simulations are
+// Package resultcache persists simulation results so repeated experiment
+// invocations skip work they have already done. Simulations are
 // deterministic (DESIGN.md §5): a result is fully determined by the machine
 // configuration, the run-spec key (which fixes the policy, monitors, and
 // injection options), the benchmark, and the instruction budget — so those
 // inputs, plus a format version, form a content address.
 //
-// The cache is a flat directory of JSON entries named by the SHA-256 of
-// the canonical key material. Writes are atomic (temp file + rename into
-// place), so concurrent processes sharing a cache directory can only ever
-// observe complete entries. Reads are corruption-tolerant: an unreadable,
-// malformed, or version-mismatched entry is treated as a miss (and
-// removed) so the caller recomputes instead of crashing.
+// The package is organized around the small Store interface (Get/Put/
+// Stats). Cache is the disk implementation: a flat directory of JSON
+// entries named by the SHA-256 of the canonical key material. Writes are
+// atomic (temp file + rename into place), so concurrent processes sharing
+// a cache directory can only ever observe complete entries. Reads are
+// corruption-tolerant: an unreadable, malformed, or version-mismatched
+// entry is treated as a miss (and removed) so the caller recomputes
+// instead of crashing. Tiered stacks a Store over remote peers (see
+// tiered.go): local first, then verified peer fetch, so a fleet of dmdcd
+// instances deduplicates simulation work globally.
 //
 // Invalidation: bump FormatVersion whenever simulator semantics change in
 // a way that alters results (new stats, timing fixes, energy recalibration).
@@ -91,10 +95,73 @@ func Key(ks KeySpec) string {
 	return hex.EncodeToString(sum[:])
 }
 
-// entry is the on-disk representation of one cached result.
+// entry is the on-disk (and on-wire) representation of one cached result.
 type entry struct {
 	Version int          `json:"version"`
 	Result  *core.Result `json:"result"`
+}
+
+// EncodeEntry serializes a result into the canonical entry encoding used
+// both on disk and on the peer cache wire protocol (GET /v1/cache/{key}).
+func EncodeEntry(r *core.Result) ([]byte, error) {
+	b, err := json.Marshal(entry{Version: FormatVersion, Result: r})
+	if err != nil {
+		return nil, fmt.Errorf("resultcache: marshal entry: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeEntry parses an entry encoding, failing closed on malformed bodies
+// and on any format-version mismatch: a result produced under different
+// simulator semantics must never be served as current.
+func DecodeEntry(b []byte) (*core.Result, error) {
+	var e entry
+	if err := json.Unmarshal(b, &e); err != nil {
+		return nil, fmt.Errorf("resultcache: decode entry: %w", err)
+	}
+	if e.Version != FormatVersion {
+		return nil, fmt.Errorf("resultcache: entry format version %d, want %d", e.Version, FormatVersion)
+	}
+	if e.Result == nil {
+		return nil, errors.New("resultcache: entry missing result")
+	}
+	return e.Result, nil
+}
+
+// Stats is a point-in-time snapshot of a Store's counters. The Local*/Peer*/
+// Negative* fields are only populated by stores with multiple tiers; a plain
+// disk Cache reports Hits/Misses/WriteErrors and leaves the rest zero.
+type Stats struct {
+	// Hits counts Gets answered from any tier.
+	Hits uint64 `json:"hits"`
+	// Misses counts Gets no tier could answer.
+	Misses uint64 `json:"misses"`
+	// WriteErrors counts failed Puts (recoverable: the result is simply
+	// recomputed next time).
+	WriteErrors uint64 `json:"write_errors"`
+	// LocalHits counts Gets answered by the local tier of a Tiered store.
+	LocalHits uint64 `json:"local_hits,omitempty"`
+	// PeerHits counts Gets answered by a peer fetch.
+	PeerHits uint64 `json:"peer_hits,omitempty"`
+	// PeerErrors counts failed or rejected peer fetches (network errors,
+	// hash mismatches, version skew) — each one fails closed to a miss.
+	PeerErrors uint64 `json:"peer_errors,omitempty"`
+	// NegativeHits counts Gets short-circuited by negative-lookup backoff.
+	NegativeHits uint64 `json:"negative_hits,omitempty"`
+}
+
+// Store is the result cache abstraction the rest of the system programs
+// against: the disk Cache, the fleet Tiered store, and test fakes all
+// implement it. Implementations must be safe for concurrent use.
+//
+// Get returns the cached result for a content-addressed key, or
+// (nil, false) on a miss; it must fail closed (miss, never a wrong result)
+// on corruption or version skew. Put stores a result; failures are
+// recoverable and surface through Stats().WriteErrors.
+type Store interface {
+	Get(key string) (*core.Result, bool)
+	Put(key string, r *core.Result) error
+	Stats() Stats
 }
 
 // Cache is a content-addressed on-disk result store. All methods are safe
@@ -135,23 +202,35 @@ func (c *Cache) Get(key string) (*core.Result, bool) {
 		c.misses.Add(1)
 		return nil, false
 	}
-	var e entry
-	if err := json.Unmarshal(b, &e); err != nil || e.Version != FormatVersion || e.Result == nil {
+	r, err := DecodeEntry(b)
+	if err != nil {
 		os.Remove(c.path(key)) // bad entry: recompute, don't crash
 		c.misses.Add(1)
 		return nil, false
 	}
 	c.hits.Add(1)
-	return e.Result, true
+	return r, true
+}
+
+// GetRaw returns the verbatim entry encoding for key, for serving to peers.
+// Unlike Get it does not decode or validate the body (the fetching side
+// verifies), and it does not touch the hit/miss counters: peer traffic is
+// accounted on the requesting instance.
+func (c *Cache) GetRaw(key string) ([]byte, bool) {
+	b, err := os.ReadFile(c.path(key))
+	if err != nil {
+		return nil, false
+	}
+	return b, true
 }
 
 // Put stores a result under key. The write is atomic: a reader (in this or
 // any other process) sees either no entry or a complete one.
 func (c *Cache) Put(key string, r *core.Result) error {
-	b, err := json.Marshal(entry{Version: FormatVersion, Result: r})
+	b, err := EncodeEntry(r)
 	if err != nil {
 		c.writeErrs.Add(1)
-		return fmt.Errorf("resultcache: marshal entry: %w", err)
+		return err
 	}
 	tmp, err := os.CreateTemp(c.dir, "put-*.tmp")
 	if err != nil {
@@ -222,3 +301,12 @@ func (c *Cache) Misses() uint64 { return c.misses.Load() }
 // are recoverable (the result is simply recomputed next time), so callers
 // typically surface this as a counter rather than aborting.
 func (c *Cache) WriteErrors() uint64 { return c.writeErrs.Load() }
+
+// Stats snapshots the cache's counters, implementing Store.
+func (c *Cache) Stats() Stats {
+	return Stats{
+		Hits:        c.hits.Load(),
+		Misses:      c.misses.Load(),
+		WriteErrors: c.writeErrs.Load(),
+	}
+}

@@ -32,7 +32,7 @@ func TestWakeupShadowMatrix(t *testing.T) {
 			bench, cfg := bench, cfg
 			t.Run(fmt.Sprintf("%s/%s", bench, cfg.Name), func(t *testing.T) {
 				t.Parallel()
-				_, err := dmdc.Simulate(cfg, bench, dmdc.PolicyDMDC, shadowInsts,
+				_, err := simulate(cfg, bench, dmdc.PolicyDMDC, shadowInsts,
 					dmdc.WithWakeupShadow())
 				if err != nil {
 					t.Fatalf("shadow run diverged: %v", err)
@@ -63,7 +63,7 @@ func TestWakeupSchedulerEquivalence(t *testing.T) {
 				t.Run(fmt.Sprintf("%s/%s/%s", bench, cfg.Name, pol.name), func(t *testing.T) {
 					t.Parallel()
 					run := func(opt dmdc.SimOption) []byte {
-						r, err := dmdc.Simulate(cfg, bench, pol.kind, 30_000, opt)
+						r, err := simulate(cfg, bench, pol.kind, 30_000, opt)
 						if err != nil {
 							t.Fatalf("simulate: %v", err)
 						}
